@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the full engines: one MapReduce job
+//! (map + shuffle + merge + reduce with real record processing) and one
+//! Spark job (stage DAG with broadcast and shuffles), plus an end-to-end
+//! scaling sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipso_spark::run_job;
+use ipso_workloads::{bayes, sort, wordcount};
+
+fn bench_mapreduce_jobs(c: &mut Criterion) {
+    let splits = sort::make_splits(16, 1);
+    let spec = sort::job_spec(16);
+    c.bench_function("mapreduce_sort_n16", |b| {
+        b.iter(|| {
+            ipso_mapreduce::run_scale_out(
+                black_box(&spec),
+                &sort::SortMapper,
+                &sort::SortReducer,
+                black_box(&splits),
+            )
+        })
+    });
+
+    let wc_splits = wordcount::make_splits(8, 1);
+    let wc_spec = wordcount::job_spec(8);
+    c.bench_function("mapreduce_wordcount_n8", |b| {
+        b.iter(|| {
+            ipso_mapreduce::run_scale_out(
+                black_box(&wc_spec),
+                &wordcount::WordCountMapper,
+                &wordcount::WordCountReducer,
+                black_box(&wc_splits),
+            )
+        })
+    });
+}
+
+fn bench_spark_job(c: &mut Criterion) {
+    let job = bayes::job(256, 64);
+    c.bench_function("spark_bayes_n256_m64", |b| b.iter(|| run_job(black_box(&job))));
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    c.bench_function("sort_sweep_to_n16", |b| {
+        b.iter(|| sort::sweep(black_box(&[1, 2, 4, 8, 16])))
+    });
+}
+
+criterion_group!(benches, bench_mapreduce_jobs, bench_spark_job, bench_full_sweep);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the IPSO model layer: speedup
+//! evaluation, taxonomy classification and the classic laws.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipso::classic;
+use ipso::taxonomy::{classify, WorkloadType};
+use ipso::{AsymptoticParams, IpsoModel, ScalingFactor};
+
+fn bench_deterministic_speedup(c: &mut Criterion) {
+    let model = IpsoModel::builder(0.8)
+        .external(ScalingFactor::linear())
+        .internal(ScalingFactor::affine(0.36, 0.64))
+        .induced(ScalingFactor::induced(0.001, 2.0))
+        .build()
+        .expect("valid model");
+    c.bench_function("ipso_speedup_single", |b| {
+        b.iter(|| model.speedup(black_box(128.0)).expect("valid"))
+    });
+    c.bench_function("ipso_speedup_curve_200", |b| {
+        b.iter(|| model.speedup_curve(black_box(1..=200)).expect("valid"))
+    });
+}
+
+fn bench_asymptotic(c: &mut Criterion) {
+    let p = AsymptoticParams::new(0.9, 1.3, 0.4, 0.01, 1.5).expect("valid");
+    c.bench_function("asymptotic_speedup", |b| {
+        b.iter(|| p.speedup(black_box(512.0)).expect("valid"))
+    });
+    c.bench_function("taxonomy_classify", |b| {
+        b.iter(|| classify(black_box(&p), WorkloadType::FixedTime).expect("valid"))
+    });
+}
+
+fn bench_classic_laws(c: &mut Criterion) {
+    c.bench_function("amdahl", |b| b.iter(|| classic::amdahl(black_box(0.95), 64.0)));
+    c.bench_function("gustafson", |b| b.iter(|| classic::gustafson(black_box(0.95), 64.0)));
+    c.bench_function("sun_ni", |b| {
+        b.iter(|| classic::sun_ni(black_box(0.95), 64.0, |n| n * n.log2().max(1.0)))
+    });
+}
+
+criterion_group!(benches, bench_deterministic_speedup, bench_asymptotic, bench_classic_laws);
+criterion_main!(benches);

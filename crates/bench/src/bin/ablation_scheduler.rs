@@ -1,0 +1,57 @@
+//! Ablation: centralized scheduler dispatch cost.
+//!
+//! [Qu et al.] (the paper's reference \[7\]) blame centralized schedulers
+//! for a quadratic task-dispatch burden. This ablation runs the same
+//! large Spark job under three dispatch models — Hadoop-like, Spark-like
+//! and an idealized distributed scheduler — and measures how much of the
+//! wall clock the dispatcher eats as the task count grows.
+
+use ipso_bench::Table;
+use ipso_cluster::CentralScheduler;
+use ipso_spark::{run_job, run_sequential_reference};
+use ipso_workloads::bayes;
+
+fn main() {
+    let schedulers: [(&str, CentralScheduler); 3] = [
+        ("hadoop", CentralScheduler::hadoop_like()),
+        ("spark", CentralScheduler::spark_like()),
+        ("idealized", CentralScheduler::idealized()),
+    ];
+
+    let mut table = Table::new(
+        "ablation_scheduler",
+        &["tasks", "hadoop_speedup", "spark_speedup", "idealized_speedup"],
+    );
+
+    for &tasks in &[64u32, 128, 256, 512, 1024, 2048] {
+        let m = 64;
+        let mut row = vec![f64::from(tasks)];
+        for (_, sched) in &schedulers {
+            let mut spec = bayes::job(tasks, m);
+            // Shrink per-task compute so dispatch matters, as in
+            // fine-grained cloud workloads.
+            for s in &mut spec.stages {
+                s.task_compute /= 8.0;
+                s.input_bytes_per_task = 0;
+                s.caches_input = false;
+            }
+            spec.scheduler = *sched;
+            let speedup = run_sequential_reference(&spec) / run_job(&spec).total_time;
+            row.push(speedup);
+        }
+        table.push(row);
+    }
+    table.emit();
+
+    let hadoop = table.values("hadoop_speedup");
+    let ideal = table.values("idealized_speedup");
+    let last = hadoop.len() - 1;
+    println!(
+        "at 2048 fine-grained tasks the idealized scheduler is {:.1}x faster than the\n\
+         hadoop-like one ({:.1} vs {:.1}) — the centralized-dispatch bottleneck of [7]",
+        ideal[last] / hadoop[last],
+        ideal[last],
+        hadoop[last]
+    );
+    assert!(ideal[last] > hadoop[last], "idealized dispatch must win at scale");
+}

@@ -1,0 +1,59 @@
+//! Fig. 10 — the Spark benchmarks along the fixed-size dimension
+//! (`N` constant while scaling `m`).
+//!
+//! Paper finding to reproduce: for large fixed `N`, every application's
+//! speedup peaks and then falls as `m` grows — the pathological IVs
+//! behaviour caused by scale-out-induced overhead — in stark contrast to
+//! the monotone IIIs curve Amdahl's law predicts.
+
+use ipso_bench::Table;
+use ipso_spark::sweep_fixed_size;
+use ipso_workloads::{bayes, nweight, random_forest, svm};
+
+fn main() {
+    let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256];
+    let sizes: Vec<u32> = vec![32, 64, 128];
+    let apps: Vec<(&str, fn(u32, u32) -> ipso_spark::SparkJobSpec)> = vec![
+        ("bayes", bayes::job),
+        ("random_forest", random_forest::job),
+        ("svm", svm::job),
+        ("nweight", nweight::job),
+    ];
+
+    for (name, make_job) in &apps {
+        let mut table =
+            Table::new(&format!("fig10_{name}"), &["m", "n32", "n64", "n128"]);
+        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> =
+            sizes.iter().map(|&s| sweep_fixed_size(*make_job, s, &ms)).collect();
+        for (i, &m) in ms.iter().enumerate() {
+            table.push(vec![
+                f64::from(m),
+                sweeps[0][i].speedup,
+                sweeps[1][i].speedup,
+                sweeps[2][i].speedup,
+            ]);
+        }
+        table.emit();
+
+        for (s_idx, &n) in sizes.iter().enumerate() {
+            let peak = sweeps[s_idx]
+                .iter()
+                .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+                .expect("non-empty");
+            let last = sweeps[s_idx].last().expect("non-empty");
+            println!(
+                "  {name} N = {n}: peak S({}) = {:.1}, S({}) = {:.1} — {}",
+                peak.m,
+                peak.speedup,
+                last.m,
+                last.speedup,
+                if last.speedup < peak.speedup && peak.m < last.m {
+                    "peaks and falls (IVs)"
+                } else {
+                    "monotone in the measured range"
+                }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Simulated cluster substrate for the IPSO reproduction.
+//!
+//! The paper runs its case studies on Amazon EC2 with EMR: one m4.4xlarge
+//! master and up to ~200 m4.large workers. This crate replaces that
+//! testbed with a first-principles performance model:
+//!
+//! * [`spec`] — machine and cluster specifications (cores, memory, disk
+//!   and NIC bandwidth), with presets mirroring the paper's instances;
+//! * [`network`] — transfer-time models: point-to-point, serialized
+//!   master-side broadcast (the Orchestra/Collaborative-Filtering
+//!   bottleneck), and many-to-one shuffle with a TCP-incast penalty;
+//! * [`scheduler`] — a centralized scheduler whose per-task dispatch cost
+//!   grows with cluster size (the Hadoop/Spark scheduling bottleneck);
+//! * [`memory`] — working-set versus capacity with spill-to-disk slowdown
+//!   (the TeraSort `IN(n)` burst of paper Fig. 5);
+//! * [`straggler`] — task-time noise models (barrier synchronization makes
+//!   the slowest task the one that matters);
+//! * [`exec`] — wave scheduling of task sets over executor pools;
+//! * [`metrics`] — phase breakdowns and task traces shared by the engines.
+//!
+//! All randomness flows through [`ipso_sim::SimRng`] seeds, so every
+//! simulated experiment is reproducible.
+
+pub mod exec;
+pub mod memory;
+pub mod metrics;
+pub mod network;
+pub mod scheduler;
+pub mod spec;
+pub mod straggler;
+
+pub use exec::{run_wave_schedule, TaskSchedule};
+pub use memory::MemoryModel;
+pub use metrics::{JobTrace, PhaseTimes, TaskRecord};
+pub use network::NetworkModel;
+pub use scheduler::CentralScheduler;
+pub use spec::{ClusterSpec, NodeSpec};
+pub use straggler::StragglerModel;

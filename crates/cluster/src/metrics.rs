@@ -1,0 +1,143 @@
+//! Job traces and phase breakdowns produced by the engines.
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock time per job phase, mirroring the paper's four-part
+/// decomposition (with the reduce phase split into its shuffle / merge /
+/// reduce stages).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Environment initialization and job scheduling (s).
+    pub init: f64,
+    /// Map / split phase (s) — in a scale-out run, the slowest task.
+    pub map: f64,
+    /// Shuffle stage: reducer pulls mapper output (s).
+    pub shuffle: f64,
+    /// Merge stage of the reduce phase (s).
+    pub merge: f64,
+    /// Final reduce stage (s).
+    pub reduce: f64,
+}
+
+impl PhaseTimes {
+    /// Total job wall-clock time.
+    pub fn total(&self) -> f64 {
+        self.init + self.map + self.shuffle + self.merge + self.reduce
+    }
+
+    /// The serial (post-map) portion: shuffle + merge + reduce.
+    pub fn serial_portion(&self) -> f64 {
+        self.shuffle + self.merge + self.reduce
+    }
+}
+
+/// One executed task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task index within its stage.
+    pub task_id: u32,
+    /// Executor (worker slot) that ran it.
+    pub executor: u32,
+    /// Start time (s since job start).
+    pub start: f64,
+    /// End time (s since job start).
+    pub end: f64,
+}
+
+impl TaskRecord {
+    /// Task duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete job trace: phases, per-task records and bookkeeping the
+/// analysis pipeline uses to separate `Wo(n)` from useful work.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Job label (e.g. `"terasort"`).
+    pub job: String,
+    /// Scale-out degree of the run.
+    pub n: u32,
+    /// Phase breakdown.
+    pub phases: PhaseTimes,
+    /// Per-task records of the map/split phase.
+    pub tasks: Vec<TaskRecord>,
+    /// Scale-out-only overhead (dispatching, broadcast, queueing) — the
+    /// measured `Wo(n)` (s).
+    pub scale_out_overhead: f64,
+}
+
+impl JobTrace {
+    /// Total job wall-clock time including scale-out overhead.
+    pub fn total_time(&self) -> f64 {
+        self.phases.total() + self.scale_out_overhead
+    }
+
+    /// The slowest map task's duration, `max_i Tp,i(n)`.
+    pub fn max_task_duration(&self) -> Option<f64> {
+        self.tasks
+            .iter()
+            .map(TaskRecord::duration)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite durations"))
+    }
+
+    /// Mean map-task duration.
+    pub fn mean_task_duration(&self) -> Option<f64> {
+        if self.tasks.is_empty() {
+            return None;
+        }
+        Some(self.tasks.iter().map(TaskRecord::duration).sum::<f64>() / self.tasks.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> JobTrace {
+        JobTrace {
+            job: "sort".into(),
+            n: 4,
+            phases: PhaseTimes { init: 1.0, map: 10.0, shuffle: 2.0, merge: 3.0, reduce: 1.0 },
+            tasks: vec![
+                TaskRecord { task_id: 0, executor: 0, start: 1.0, end: 9.0 },
+                TaskRecord { task_id: 1, executor: 1, start: 1.0, end: 11.0 },
+                TaskRecord { task_id: 2, executor: 2, start: 1.0, end: 10.0 },
+            ],
+            scale_out_overhead: 0.5,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let t = trace();
+        assert!((t.phases.total() - 17.0).abs() < 1e-12);
+        assert!((t.phases.serial_portion() - 6.0).abs() < 1e-12);
+        assert!((t.total_time() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_statistics() {
+        let t = trace();
+        assert_eq!(t.max_task_duration(), Some(10.0));
+        assert!((t.mean_task_duration().unwrap() - 9.0).abs() < 1e-12);
+        assert_eq!(t.tasks[1].duration(), 10.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = JobTrace::default();
+        assert_eq!(t.max_task_duration(), None);
+        assert_eq!(t.mean_task_duration(), None);
+        assert_eq!(t.total_time(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: JobTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

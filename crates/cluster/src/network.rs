@@ -1,0 +1,162 @@
+//! Network transfer-time models.
+//!
+//! Three patterns dominate the paper's case studies:
+//!
+//! * **point-to-point** — a plain `bytes / bandwidth` transfer;
+//! * **broadcast** — the master pushes the same payload to every worker.
+//!   Without a broadcast tree the master NIC serializes the `n` unicasts,
+//!   so the cost grows *linearly in `n`* — exactly the overhead that gives
+//!   Collaborative Filtering its `q(n) ∝ n²` pathology (\[12\], Fig. 8);
+//! * **shuffle / incast** — `n` mappers push to one reducer. Beyond raw
+//!   bytes the reducer suffers TCP incast collapse as fan-in grows (\[13\]),
+//!   modelled as a goodput penalty increasing with `n`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ClusterSpec;
+
+/// Transfer-time model for a master/worker cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Master NIC bandwidth, bytes/s.
+    pub master_bandwidth: f64,
+    /// Worker NIC bandwidth, bytes/s.
+    pub worker_bandwidth: f64,
+    /// Per-message latency floor, seconds.
+    pub latency: f64,
+    /// Incast goodput degradation per additional concurrent sender
+    /// (dimensionless; 0 disables the effect). With fan-in `n` the
+    /// effective receive goodput is `worker_bandwidth / (1 + incast·(n−1))`.
+    pub incast_coefficient: f64,
+    /// `true` to broadcast over a binomial tree (cost ~ log₂ n) instead of
+    /// serialized master unicasts (cost ~ n). The paper's Spark era used
+    /// serialized HTTP broadcast, which is the pathological default.
+    pub tree_broadcast: bool,
+}
+
+impl NetworkModel {
+    /// Builds the model from a cluster specification with the paper-era
+    /// defaults: serialized broadcast, mild incast.
+    pub fn from_cluster(spec: &ClusterSpec) -> NetworkModel {
+        NetworkModel {
+            master_bandwidth: spec.master.net_bandwidth,
+            worker_bandwidth: spec.worker.net_bandwidth,
+            latency: 0.5e-3,
+            incast_coefficient: 0.02,
+            tree_broadcast: false,
+        }
+    }
+
+    /// Point-to-point transfer time for `bytes` between two workers.
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.worker_bandwidth
+    }
+
+    /// Time for the master to broadcast `bytes` to `n` workers.
+    ///
+    /// Serialized unicast: `n · (latency + bytes/master_bw)` — linear in
+    /// `n`. Tree broadcast: `ceil(log₂(n+1))` rounds of worker-bandwidth
+    /// transfers.
+    pub fn broadcast_time(&self, bytes: u64, n: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        if self.tree_broadcast {
+            let rounds = (n as f64 + 1.0).log2().ceil();
+            rounds * (self.latency + bytes as f64 / self.worker_bandwidth)
+        } else {
+            n as f64 * (self.latency + bytes as f64 / self.master_bandwidth)
+        }
+    }
+
+    /// Time for `n` senders to deliver `bytes_per_sender` each into a
+    /// single receiver (the single-reducer shuffle), including the incast
+    /// goodput penalty.
+    pub fn incast_shuffle_time(&self, bytes_per_sender: u64, n: u32) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let total = bytes_per_sender as f64 * n as f64;
+        let goodput =
+            self.worker_bandwidth / (1.0 + self.incast_coefficient * (n as f64 - 1.0));
+        self.latency + total / goodput
+    }
+
+    /// Effective receive goodput (bytes/s) at fan-in `n`.
+    pub fn incast_goodput(&self, n: u32) -> f64 {
+        self.worker_bandwidth / (1.0 + self.incast_coefficient * (n.max(1) as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MIB;
+
+    fn model() -> NetworkModel {
+        NetworkModel::from_cluster(&ClusterSpec::emr(8))
+    }
+
+    #[test]
+    fn p2p_is_bandwidth_bound() {
+        let m = model();
+        let t = m.p2p_time(56 * MIB as u64);
+        // ~56 MiB at 56.25 MB/s ≈ 1.04 s.
+        assert!((1.0..1.2).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn serialized_broadcast_is_linear_in_n() {
+        let m = model();
+        let t10 = m.broadcast_time(10 * MIB, 10);
+        let t20 = m.broadcast_time(10 * MIB, 20);
+        assert!((t20 / t10 - 2.0).abs() < 1e-9);
+        assert_eq!(m.broadcast_time(MIB, 0), 0.0);
+    }
+
+    #[test]
+    fn tree_broadcast_is_logarithmic() {
+        let mut m = model();
+        m.tree_broadcast = true;
+        let t15 = m.broadcast_time(10 * MIB, 15);
+        let t255 = m.broadcast_time(10 * MIB, 255);
+        // log2(16) = 4 rounds vs log2(256) = 8 rounds.
+        assert!((t255 / t15 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_beats_serial_at_scale() {
+        let serial = model();
+        let mut tree = model();
+        tree.tree_broadcast = true;
+        assert!(tree.broadcast_time(100 * MIB, 60) < serial.broadcast_time(100 * MIB, 60));
+    }
+
+    #[test]
+    fn incast_penalty_grows_with_fanin() {
+        let m = model();
+        // Same total bytes, split among more senders: incast makes wider
+        // fan-in slower.
+        let narrow = m.incast_shuffle_time(64 * MIB, 4);
+        let wide = m.incast_shuffle_time(16 * MIB, 16);
+        assert!(wide > narrow, "wide = {wide}, narrow = {narrow}");
+        assert!(m.incast_goodput(16) < m.incast_goodput(4));
+    }
+
+    #[test]
+    fn zero_incast_coefficient_disables_penalty() {
+        let mut m = model();
+        m.incast_coefficient = 0.0;
+        let narrow = m.incast_shuffle_time(64 * MIB, 4);
+        let wide = m.incast_shuffle_time(16 * MIB, 16);
+        assert!((narrow - wide).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shuffle_scales_with_total_bytes() {
+        let m = model();
+        let t1 = m.incast_shuffle_time(10 * MIB, 8);
+        let t2 = m.incast_shuffle_time(20 * MIB, 8);
+        assert!(t2 > 1.9 * t1 && t2 < 2.1 * t1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Task-time noise (straggler) models.
+//!
+//! With barrier synchronization, the split phase finishes with its
+//! *slowest* task, so task-time dispersion directly lowers speedups
+//! (`E[max Tp,i(n)]` in paper Eq. 8). This module provides multiplicative
+//! noise applied to a task's nominal duration.
+
+use ipso_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative task-time noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StragglerModel {
+    /// No noise: every task takes exactly its nominal time.
+    None,
+    /// Uniform multiplier in `[1 − spread, 1 + spread]` — ordinary jitter
+    /// from CPU/IO interference.
+    Uniform {
+        /// Half-width of the multiplier interval, in `(0, 1)`.
+        spread: f64,
+    },
+    /// `1 + Exponential(mean_excess)` — occasional long tails.
+    ExponentialTail {
+        /// Mean of the additional (relative) delay.
+        mean_excess: f64,
+    },
+    /// Pareto multiplier with minimum 1 — heavy-tailed stragglers as
+    /// studied by [Zaharia et al., OSDI '08].
+    Pareto {
+        /// Tail index; larger is lighter-tailed. Must exceed 1.
+        shape: f64,
+    },
+}
+
+impl StragglerModel {
+    /// The mild default used for the MapReduce case studies: ±5% jitter.
+    pub fn mild() -> StragglerModel {
+        StragglerModel::Uniform { spread: 0.05 }
+    }
+
+    /// Draws a multiplier (≥ 0, usually near 1).
+    pub fn multiplier(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            StragglerModel::None => 1.0,
+            StragglerModel::Uniform { spread } => rng.jitter(spread),
+            StragglerModel::ExponentialTail { mean_excess } => {
+                1.0 + rng.exponential(mean_excess)
+            }
+            StragglerModel::Pareto { shape } => rng.pareto(1.0, shape),
+        }
+    }
+
+    /// Mean of the multiplier, used to keep nominal workloads calibrated.
+    pub fn mean_multiplier(&self) -> f64 {
+        match *self {
+            StragglerModel::None => 1.0,
+            StragglerModel::Uniform { .. } => 1.0,
+            StragglerModel::ExponentialTail { mean_excess } => 1.0 + mean_excess,
+            StragglerModel::Pareto { shape } => shape / (shape - 1.0),
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            StragglerModel::None => Ok(()),
+            StragglerModel::Uniform { spread } => {
+                if (0.0..1.0).contains(&spread) {
+                    Ok(())
+                } else {
+                    Err("uniform spread must be in [0, 1)".into())
+                }
+            }
+            StragglerModel::ExponentialTail { mean_excess } => {
+                if mean_excess.is_finite() && mean_excess > 0.0 {
+                    Ok(())
+                } else {
+                    Err("mean excess must be positive".into())
+                }
+            }
+            StragglerModel::Pareto { shape } => {
+                if shape.is_finite() && shape > 1.0 {
+                    Ok(())
+                } else {
+                    Err("pareto shape must exceed 1".into())
+                }
+            }
+        }
+    }
+}
+
+impl Default for StragglerModel {
+    fn default() -> Self {
+        StragglerModel::mild()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_exact() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(StragglerModel::None.multiplier(&mut rng), 1.0);
+        assert_eq!(StragglerModel::None.mean_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SimRng::seed_from(2);
+        let m = StragglerModel::Uniform { spread: 0.1 };
+        for _ in 0..1000 {
+            let v = m.multiplier(&mut rng);
+            assert!((0.9..=1.1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_tail_exceeds_one() {
+        let mut rng = SimRng::seed_from(3);
+        let m = StragglerModel::ExponentialTail { mean_excess: 0.2 };
+        let mean: f64 =
+            (0..20_000).map(|_| m.multiplier(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 1.2).abs() < 0.02, "mean = {mean}");
+        assert!((m.mean_multiplier() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_minimum_is_one() {
+        let mut rng = SimRng::seed_from(4);
+        let m = StragglerModel::Pareto { shape: 2.5 };
+        for _ in 0..1000 {
+            assert!(m.multiplier(&mut rng) >= 1.0);
+        }
+        assert!((m.mean_multiplier() - 2.5 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(StragglerModel::mild().validate().is_ok());
+        assert!(StragglerModel::Uniform { spread: 1.0 }.validate().is_err());
+        assert!(StragglerModel::ExponentialTail { mean_excess: 0.0 }.validate().is_err());
+        assert!(StragglerModel::Pareto { shape: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn heavier_tails_have_larger_maxima() {
+        let mut rng = SimRng::seed_from(5);
+        let sample_max = |m: StragglerModel, rng: &mut SimRng| {
+            (0..2000).map(|_| m.multiplier(rng)).fold(0.0f64, f64::max)
+        };
+        let uniform_max = sample_max(StragglerModel::Uniform { spread: 0.05 }, &mut rng);
+        let pareto_max = sample_max(StragglerModel::Pareto { shape: 1.5 }, &mut rng);
+        assert!(pareto_max > uniform_max * 2.0);
+    }
+}

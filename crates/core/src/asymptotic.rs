@@ -1,0 +1,305 @@
+//! The asymptotic (highest-order-term) form of IPSO (paper Eqs. 14–17).
+//!
+//! For scaling analysis the paper keeps only the leading terms of the
+//! factor ratios: `ε(n) = EX(n)/IN(n) ≈ α·n^δ` and `q(n) ≈ β·n^γ`. Together
+//! with the parallelizable fraction `η`, five numbers span the entire IPSO
+//! solution space, and the taxonomy of Figs. 2–3 is a partition of that
+//! five-dimensional space.
+
+use crate::error::{check_eta, check_scale_out};
+use crate::ModelError;
+
+/// The five asymptotic parameters `(η, α, δ, β, γ)` of Eqs. 14–16.
+///
+/// * `η` — parallelizable fraction at `n = 1`; `η = 1` means no serial
+///   portion (in which case α and δ are irrelevant, Eq. 17).
+/// * `α ≥ 0`, `δ` — in-proportion ratio `ε(n) ≈ α·n^δ`.
+/// * `β ≥ 0`, `γ ≥ 0` — scale-out-induced factor `q(n) ≈ β·n^γ`;
+///   `β = 0` (or `γ = 0` in the paper's convention) means no induced
+///   workload.
+///
+/// # Example
+///
+/// ```
+/// use ipso::AsymptoticParams;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// // Gustafson's law: η < 1, α = 1, δ = 1, no induced workload.
+/// let p = AsymptoticParams::new(0.75, 1.0, 1.0, 0.0, 0.0)?;
+/// let s = p.speedup(100.0)?;
+/// assert!((s - (0.75 * 100.0 + 0.25)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymptoticParams {
+    /// Parallelizable fraction at `n = 1`.
+    pub eta: f64,
+    /// Coefficient of the in-proportion ratio `ε(n) ≈ α·n^δ`.
+    pub alpha: f64,
+    /// Exponent of the in-proportion ratio.
+    pub delta: f64,
+    /// Coefficient of the induced factor `q(n) ≈ β·n^γ`.
+    pub beta: f64,
+    /// Exponent of the induced factor.
+    pub gamma: f64,
+}
+
+impl AsymptoticParams {
+    /// Creates a parameter set, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidEta`] unless `η ∈ (0, 1]`;
+    /// * [`ModelError::InvalidFactor`] if `α < 0` (with `η < 1`), `β < 0`,
+    ///   `γ < 0`, or any value is non-finite.
+    pub fn new(eta: f64, alpha: f64, delta: f64, beta: f64, gamma: f64) -> Result<Self, ModelError> {
+        check_eta(eta)?;
+        if !alpha.is_finite() || (eta < 1.0 && alpha < 0.0) {
+            return Err(ModelError::InvalidFactor {
+                factor: "EX",
+                reason: "alpha must be finite and non-negative",
+            });
+        }
+        if !delta.is_finite() {
+            return Err(ModelError::InvalidFactor { factor: "EX", reason: "delta must be finite" });
+        }
+        if !beta.is_finite() || beta < 0.0 {
+            return Err(ModelError::InvalidFactor {
+                factor: "q",
+                reason: "beta must be finite and non-negative",
+            });
+        }
+        if !gamma.is_finite() || gamma < 0.0 {
+            return Err(ModelError::InvalidFactor {
+                factor: "q",
+                reason: "gamma must be finite and non-negative",
+            });
+        }
+        Ok(AsymptoticParams { eta, alpha, delta, beta, gamma })
+    }
+
+    /// Parameters for a workload with no serial portion (`η = 1`), where
+    /// only `q(n) ≈ β·n^γ` matters (paper Eq. 17).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`AsymptoticParams::new`].
+    pub fn serial_free(beta: f64, gamma: f64) -> Result<Self, ModelError> {
+        AsymptoticParams::new(1.0, 1.0, 0.0, beta, gamma)
+    }
+
+    /// Returns `true` when the workload has no serial portion.
+    pub fn is_serial_free(&self) -> bool {
+        self.eta >= 1.0
+    }
+
+    /// Returns `true` when there is no scale-out-induced workload
+    /// (`q(n) ≡ 0`, i.e. `β = 0`; the paper writes this as `γ = 0`).
+    pub fn no_induced_workload(&self) -> bool {
+        self.beta == 0.0 || self.gamma == 0.0
+    }
+
+    /// The in-proportion ratio `ε(n) ≈ α·n^δ` (Eq. 14).
+    pub fn epsilon(&self, n: f64) -> f64 {
+        self.alpha * n.powf(self.delta)
+    }
+
+    /// The induced factor `q(n) ≈ β·n^γ` (Eq. 15).
+    pub fn q(&self, n: f64) -> f64 {
+        if self.no_induced_workload() {
+            0.0
+        } else {
+            self.beta * n.powf(self.gamma)
+        }
+    }
+
+    /// The asymptotic speedup (Eq. 16, or Eq. 17 when `η = 1`):
+    ///
+    /// ```text
+    ///          η·α·n^δ + (1 − η)
+    /// S(n) = ─────────────────────────────────  (η < 1)
+    ///        η·α·n^{δ−1}·(1 + β·n^γ) + (1 − η)
+    ///
+    /// S(n) = n / (1 + β·n^γ)                    (η = 1)
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for invalid `n` and
+    /// [`ModelError::NonFinite`] for degenerate parameter combinations.
+    pub fn speedup(&self, n: f64) -> Result<f64, ModelError> {
+        check_scale_out(n)?;
+        let s = if self.is_serial_free() {
+            n / (1.0 + self.q(n))
+        } else {
+            let num = self.eta * self.epsilon(n) + (1.0 - self.eta);
+            let den = self.eta * self.alpha * n.powf(self.delta - 1.0) * (1.0 + self.q(n))
+                + (1.0 - self.eta);
+            num / den
+        };
+        if !s.is_finite() {
+            return Err(ModelError::NonFinite("asymptotic speedup"));
+        }
+        Ok(s)
+    }
+
+    /// The limiting speedup as `n → ∞`, when it exists.
+    ///
+    /// Returns `None` for unbounded growth (types I/II) and `Some(limit)`
+    /// for bounded or decaying behaviours (the limit is `0` for the
+    /// pathological type IV, whose speedup peaks and then falls towards
+    /// zero).
+    pub fn limit(&self) -> Option<f64> {
+        if self.is_serial_free() {
+            // S = n / (1 + βn^γ)
+            return if self.no_induced_workload() {
+                None // S = n, unbounded
+            } else if self.gamma < 1.0 {
+                None // unbounded sublinear
+            } else if self.gamma == 1.0 {
+                Some(1.0 / self.beta)
+            } else {
+                Some(0.0)
+            };
+        }
+        let eta = self.eta;
+        let one_minus = 1.0 - eta;
+        // Effective denominator exponent: δ − 1 + γ (with γ = 0 if no q).
+        let gamma = if self.no_induced_workload() { 0.0 } else { self.gamma };
+        let den_exp = self.delta - 1.0 + gamma;
+        if den_exp > 0.0 {
+            // The numerator grows like n^δ; compare orders. Equality is
+            // checked first — δ and δ − 1 + γ may differ by an ulp.
+            if (self.delta - den_exp).abs() < 1e-9 {
+                // Same order: limit is the ratio of leading coefficients.
+                Some((eta * self.alpha) / (eta * self.alpha * self.beta))
+            } else if self.delta > den_exp {
+                None // cannot happen for γ ≥ 0, kept for completeness
+            } else {
+                Some(0.0)
+            }
+        } else if den_exp.abs() < 1e-12 {
+            // Denominator tends to η·α·[β if γ contributes else 1]·… + (1−η).
+            let den_coeff = if gamma > 0.0 {
+                // δ − 1 + γ = 0 with γ > 0: the q-term dominates the n^{δ−1}
+                // factor: coefficient η·α·β plus the constant (1−η).
+                eta * self.alpha * self.beta + one_minus
+            } else {
+                // γ = 0 and δ = 1: denominator → η·α + (1−η).
+                eta * self.alpha + one_minus
+            };
+            if self.delta > 0.0 {
+                None // numerator still diverges
+            } else {
+                Some((eta * self.alpha + one_minus) / den_coeff)
+            }
+        } else {
+            // Denominator → (1 − η).
+            if self.delta > 0.0 {
+                None
+            } else {
+                Some((eta * self.alpha + one_minus) / one_minus)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gustafson_case_matches_closed_form() {
+        let p = AsymptoticParams::new(0.6, 1.0, 1.0, 0.0, 0.0).unwrap();
+        for n in [1.0, 10.0, 200.0] {
+            assert!((p.speedup(n).unwrap() - (0.6 * n + 0.4)).abs() < 1e-9);
+        }
+        assert_eq!(p.limit(), None);
+    }
+
+    #[test]
+    fn amdahl_case_has_classic_bound() {
+        // Fixed-size: δ = 0, α = 1, no q. Bound = 1/(1−η).
+        let p = AsymptoticParams::new(0.9, 1.0, 0.0, 0.0, 0.0).unwrap();
+        let lim = p.limit().unwrap();
+        assert!((lim - 10.0).abs() < 1e-9);
+        assert!(p.speedup(1e9).unwrap() < lim);
+    }
+
+    #[test]
+    fn type_iii_t1_bound() {
+        // Fixed-time with full in-proportion scaling: δ = 0 (IN grows as
+        // fast as EX), γ < 1. Bound = (ηα + 1 − η)/(1 − η).
+        let (eta, alpha) = (0.8, 4.3);
+        let p = AsymptoticParams::new(eta, alpha, 0.0, 0.0, 0.0).unwrap();
+        let expected = (eta * alpha + (1.0 - eta)) / (1.0 - eta);
+        assert!((p.limit().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_iii_t2_bound_serial_free() {
+        // γ = 1 with η = 1: S → 1/β.
+        let p = AsymptoticParams::serial_free(0.05, 1.0).unwrap();
+        assert!((p.limit().unwrap() - 20.0).abs() < 1e-9);
+        assert!((p.speedup(1e8).unwrap() - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn type_iii_t2_bound_with_serial() {
+        // γ = 1, δ = 0: S → (ηα + 1 − η)/(ηαβ + 1 − η).
+        let (eta, alpha, beta) = (0.7, 2.0, 0.1);
+        let p = AsymptoticParams::new(eta, alpha, 0.0, beta, 1.0).unwrap();
+        let expected = (eta * alpha + 0.3) / (eta * alpha * beta + 0.3);
+        assert!((p.limit().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_iv_decays_to_zero() {
+        let p = AsymptoticParams::new(0.9, 1.0, 1.0, 0.01, 2.0).unwrap();
+        assert_eq!(p.limit(), Some(0.0));
+        // Peak then fall.
+        let s10 = p.speedup(10.0).unwrap();
+        let s1000 = p.speedup(1000.0).unwrap();
+        assert!(s10 > s1000);
+    }
+
+    #[test]
+    fn serial_free_without_overhead_is_linear() {
+        let p = AsymptoticParams::serial_free(0.0, 0.0).unwrap();
+        assert_eq!(p.speedup(64.0).unwrap(), 64.0);
+        assert_eq!(p.limit(), None);
+    }
+
+    #[test]
+    fn sublinear_unbounded_type_ii() {
+        // γ = 0.5 < 1 with η = 1: unbounded sublinear.
+        let p = AsymptoticParams::serial_free(0.1, 0.5).unwrap();
+        assert_eq!(p.limit(), None);
+        assert!(p.speedup(10_000.0).unwrap() > p.speedup(1000.0).unwrap());
+        // But below perfect linear.
+        assert!(p.speedup(10_000.0).unwrap() < 10_000.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(AsymptoticParams::new(0.5, -1.0, 0.0, 0.0, 0.0).is_err());
+        assert!(AsymptoticParams::new(0.5, 1.0, f64::NAN, 0.0, 0.0).is_err());
+        assert!(AsymptoticParams::new(0.5, 1.0, 0.0, -0.1, 0.0).is_err());
+        assert!(AsymptoticParams::new(0.5, 1.0, 0.0, 0.1, -1.0).is_err());
+        assert!(AsymptoticParams::new(0.0, 1.0, 0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn speedup_at_one_without_overhead_is_one() {
+        let p = AsymptoticParams::new(0.8, 1.0, 1.0, 0.0, 0.0).unwrap();
+        assert!((p.speedup(1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_and_q_shapes() {
+        let p = AsymptoticParams::new(0.5, 2.0, 0.5, 0.3, 2.0).unwrap();
+        assert!((p.epsilon(4.0) - 4.0).abs() < 1e-12);
+        assert!((p.q(10.0) - 30.0).abs() < 1e-12);
+    }
+}

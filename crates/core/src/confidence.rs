@@ -1,0 +1,255 @@
+//! Bootstrap confidence intervals for scaling predictions.
+//!
+//! The paper's prediction pipeline extrapolates from a handful of small-n
+//! profile runs, so a point estimate alone overstates certainty. This
+//! module wraps [`ScalingPredictor`]
+//! (see [`crate::predict`]) with a case-resampling bootstrap: the profile runs are resampled with
+//! replacement, the whole estimation pipeline is refitted per replicate,
+//! and the predictions' percentiles form the interval. Wide intervals are
+//! themselves diagnostic — they tell the operator to buy more profile
+//! runs before buying more machines.
+
+use ipso_sim::SimRng;
+
+use crate::measurement::RunMeasurement;
+use crate::predict::ScalingPredictor;
+use crate::ModelError;
+
+/// A predicted speedup with its bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionInterval {
+    /// Target scale-out degree.
+    pub n: u32,
+    /// Point prediction from the full-sample fit.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+}
+
+impl PredictionInterval {
+    /// Relative width of the interval, `(upper − lower) / point`.
+    pub fn relative_width(&self) -> f64 {
+        if self.point > 0.0 {
+            (self.upper - self.lower) / self.point
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Options for [`bootstrap_predictions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapOptions {
+    /// Fit window passed to the predictor.
+    pub fit_window: u32,
+    /// Bootstrap replicates (≥ 20 recommended).
+    pub replicates: u32,
+    /// Two-sided confidence level in `(0, 1)`, e.g. 0.9.
+    pub confidence: f64,
+    /// RNG seed — identical inputs give identical intervals.
+    pub seed: u64,
+}
+
+impl Default for BootstrapOptions {
+    fn default() -> Self {
+        BootstrapOptions { fit_window: 16, replicates: 200, confidence: 0.9, seed: 42 }
+    }
+}
+
+/// Computes bootstrap prediction intervals at the given target degrees.
+///
+/// Replicates whose resample cannot be fitted (e.g. all-identical runs)
+/// are skipped; at least a quarter of the replicates must survive.
+///
+/// # Errors
+///
+/// * invalid options ([`ModelError::NonFinite`] for bad confidence,
+///   [`ModelError::InsufficientData`] for too few runs/replicates);
+/// * fit errors from the full-sample predictor;
+/// * [`ModelError::InsufficientData`] when too few replicates survive.
+///
+/// # Example
+///
+/// ```
+/// use ipso::confidence::{bootstrap_predictions, BootstrapOptions};
+/// # use ipso::RunMeasurement;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// # let runs: Vec<RunMeasurement> = [1u32, 2, 4, 8, 12, 16]
+/// #     .iter()
+/// #     .map(|&n| {
+/// #         let nf = f64::from(n);
+/// #         RunMeasurement {
+/// #             n,
+/// #             seq_parallel_work: 10.0 * nf * (1.0 + 0.01 * (nf * 7.3).sin()),
+/// #             seq_serial_work: 2.0 * (0.4 * nf + 0.6),
+/// #             par_map_time: 10.0,
+/// #             par_serial_time: 2.0 * (0.4 * nf + 0.6),
+/// #             par_overhead: 0.0,
+/// #         }
+/// #     })
+/// #     .collect();
+/// let intervals =
+///     bootstrap_predictions(&runs, &[64, 128], &BootstrapOptions::default())?;
+/// assert!(intervals[0].lower <= intervals[0].point);
+/// assert!(intervals[0].point <= intervals[0].upper);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bootstrap_predictions(
+    runs: &[RunMeasurement],
+    targets: &[u32],
+    opts: &BootstrapOptions,
+) -> Result<Vec<PredictionInterval>, ModelError> {
+    if !(opts.confidence > 0.0 && opts.confidence < 1.0) {
+        return Err(ModelError::NonFinite("bootstrap confidence level"));
+    }
+    if opts.replicates < 8 {
+        return Err(ModelError::InsufficientData {
+            points: opts.replicates as usize,
+            required: 8,
+        });
+    }
+    if runs.len() < 4 {
+        return Err(ModelError::InsufficientData { points: runs.len(), required: 4 });
+    }
+
+    let full = ScalingPredictor::fit(runs, opts.fit_window)?;
+    let mut rng = SimRng::seed_from(opts.seed);
+
+    // Collect per-target prediction samples across replicates.
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); targets.len()];
+    let smallest = *runs.iter().min_by_key(|r| r.n).expect("non-empty");
+    for _ in 0..opts.replicates {
+        // Case resampling; always keep the smallest run so the workload
+        // reference stays anchored.
+        let mut resample: Vec<RunMeasurement> = vec![smallest];
+        for _ in 1..runs.len() {
+            resample.push(runs[rng.index(runs.len())]);
+        }
+        let Ok(predictor) = ScalingPredictor::fit(&resample, opts.fit_window) else {
+            continue;
+        };
+        for (slot, &target) in samples.iter_mut().zip(targets) {
+            if let Ok(s) = predictor.predict(f64::from(target)) {
+                if s.is_finite() {
+                    slot.push(s);
+                }
+            }
+        }
+    }
+
+    let survived = samples.first().map_or(0, Vec::len);
+    if survived < (opts.replicates / 4) as usize {
+        return Err(ModelError::InsufficientData {
+            points: survived,
+            required: (opts.replicates / 4) as usize,
+        });
+    }
+
+    let alpha = (1.0 - opts.confidence) / 2.0;
+    let mut out = Vec::with_capacity(targets.len());
+    for (slot, &target) in samples.iter_mut().zip(targets) {
+        slot.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let lower = percentile_of_sorted(slot, alpha);
+        let upper = percentile_of_sorted(slot, 1.0 - alpha);
+        out.push(PredictionInterval {
+            n: target,
+            point: full.predict(f64::from(target))?,
+            lower,
+            upper,
+        });
+    }
+    Ok(out)
+}
+
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs with deterministic pseudo-noise so the bootstrap has genuine
+    /// variation to propagate.
+    fn noisy_runs(noise: f64) -> Vec<RunMeasurement> {
+        [1u32, 2, 4, 6, 8, 10, 12, 16]
+            .iter()
+            .map(|&n| {
+                let nf = f64::from(n);
+                let wiggle = 1.0 + noise * (nf * 12.9898).sin();
+                let inn = 0.4 * nf + 0.6;
+                RunMeasurement {
+                    n,
+                    seq_parallel_work: 10.0 * nf * wiggle,
+                    seq_serial_work: 3.0 * inn,
+                    par_map_time: 10.0 * wiggle,
+                    par_serial_time: 3.0 * inn,
+                    par_overhead: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intervals_bracket_the_point_estimate() {
+        let intervals = bootstrap_predictions(
+            &noisy_runs(0.03),
+            &[32, 64, 128],
+            &BootstrapOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(intervals.len(), 3);
+        for i in &intervals {
+            assert!(i.lower <= i.point * 1.02, "{i:?}");
+            assert!(i.upper >= i.point * 0.98, "{i:?}");
+            assert!(i.relative_width() < 0.5, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn more_noise_widens_the_interval() {
+        let opts = BootstrapOptions::default();
+        let quiet = bootstrap_predictions(&noisy_runs(0.01), &[128], &opts).unwrap();
+        let loud = bootstrap_predictions(&noisy_runs(0.08), &[128], &opts).unwrap();
+        assert!(
+            loud[0].relative_width() > quiet[0].relative_width(),
+            "quiet {:?} vs loud {:?}",
+            quiet[0],
+            loud[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let opts = BootstrapOptions::default();
+        let a = bootstrap_predictions(&noisy_runs(0.05), &[64], &opts).unwrap();
+        let b = bootstrap_predictions(&noisy_runs(0.05), &[64], &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noiseless_runs_give_tight_intervals() {
+        let intervals =
+            bootstrap_predictions(&noisy_runs(0.0), &[64], &BootstrapOptions::default())
+                .unwrap();
+        assert!(intervals[0].relative_width() < 1e-9, "{:?}", intervals[0]);
+    }
+
+    #[test]
+    fn option_validation() {
+        let runs = noisy_runs(0.02);
+        let bad_conf = BootstrapOptions { confidence: 1.5, ..BootstrapOptions::default() };
+        assert!(bootstrap_predictions(&runs, &[32], &bad_conf).is_err());
+        let bad_reps = BootstrapOptions { replicates: 2, ..BootstrapOptions::default() };
+        assert!(bootstrap_predictions(&runs, &[32], &bad_reps).is_err());
+        assert!(bootstrap_predictions(&runs[..2], &[32], &BootstrapOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Measurement containers.
+//!
+//! The analysis pipeline consumes two kinds of data:
+//!
+//! * [`SpeedupCurve`] — plain `(n, speedup)` points, enough for the
+//!   diagnostic procedure of Section V;
+//! * [`RunMeasurement`] — the per-run decomposition the paper uses to
+//!   estimate scaling factors: sequential-execution workloads `Wp(n)`,
+//!   `Ws(n)` and scale-out phase times including `E[max Tp,i(n)]` and the
+//!   scale-out-only overhead `Wo(n)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A single measured speedup point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Scale-out degree.
+    pub n: u32,
+    /// Measured speedup `S(n)`.
+    pub speedup: f64,
+}
+
+/// A measured speedup curve, ordered by `n`.
+///
+/// # Example
+///
+/// ```
+/// use ipso::measurement::SpeedupCurve;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// let curve = SpeedupCurve::from_pairs([(1, 1.0), (2, 1.8), (4, 3.1)])?;
+/// assert_eq!(curve.len(), 3);
+/// assert!(curve.is_monotonic_increasing());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupCurve {
+    /// Builds a curve from `(n, speedup)` pairs, sorting by `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0`,
+    /// [`ModelError::NonFinite`] for non-finite speedups, and
+    /// [`ModelError::InvalidFactor`] for duplicate `n` values.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (u32, f64)>,
+    ) -> Result<Self, ModelError> {
+        let mut points: Vec<SpeedupPoint> =
+            pairs.into_iter().map(|(n, speedup)| SpeedupPoint { n, speedup }).collect();
+        for p in &points {
+            if p.n == 0 {
+                return Err(ModelError::InvalidScaleOut(0.0));
+            }
+            if !p.speedup.is_finite() {
+                return Err(ModelError::NonFinite("speedup"));
+            }
+        }
+        points.sort_by_key(|p| p.n);
+        if points.windows(2).any(|w| w[0].n == w[1].n) {
+            return Err(ModelError::InvalidFactor {
+                factor: "scaling",
+                reason: "duplicate scale-out degrees in curve",
+            });
+        }
+        Ok(SpeedupCurve { points })
+    }
+
+    /// The points, ordered by `n`.
+    pub fn points(&self) -> &[SpeedupPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Scale-out degrees as `f64`, in order.
+    pub fn ns(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.n as f64).collect()
+    }
+
+    /// Speedups, in order of `n`.
+    pub fn speedups(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.speedup).collect()
+    }
+
+    /// The point with the highest speedup.
+    pub fn peak(&self) -> Option<SpeedupPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite by construction"))
+    }
+
+    /// Whether the speedup never decreases as `n` grows.
+    pub fn is_monotonic_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].speedup >= w[0].speedup)
+    }
+
+    /// Restricts the curve to points with `n <= n_max` (the paper fits its
+    /// scaling factors on `n ≤ 16`).
+    pub fn up_to(&self, n_max: u32) -> SpeedupCurve {
+        SpeedupCurve { points: self.points.iter().copied().filter(|p| p.n <= n_max).collect() }
+    }
+}
+
+impl FromIterator<SpeedupPoint> for SpeedupCurve {
+    fn from_iter<T: IntoIterator<Item = SpeedupPoint>>(iter: T) -> Self {
+        let mut points: Vec<SpeedupPoint> = iter.into_iter().collect();
+        points.sort_by_key(|p| p.n);
+        SpeedupCurve { points }
+    }
+}
+
+/// Per-phase time breakdown of a MapReduce-style job (paper Section V).
+///
+/// The paper breaks a job into (a) initialization and job scheduling,
+/// (b) the map/split phase, (c) map→reduce communication, and (d) the
+/// reduce/merge phase (shuffle + merge + reduce stages).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Execution-environment initialization and job-scheduling time (s).
+    pub init: f64,
+    /// Map (split) phase wall-clock time (s). In a scale-out run this is
+    /// the slowest task, `max Tp,i(n)`.
+    pub map: f64,
+    /// Map→reduce communication time (s).
+    pub shuffle: f64,
+    /// Merge stage of the reduce phase (s).
+    pub merge: f64,
+    /// Final reduce stage (s).
+    pub reduce: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total wall-clock time across all phases.
+    pub fn total(&self) -> f64 {
+        self.init + self.map + self.shuffle + self.merge + self.reduce
+    }
+
+    /// The serial (merge-side) portion: everything after the map phase.
+    /// The paper attributes the map phase to parallel processing "and the
+    /// rest ... to the sequential merging phase".
+    pub fn serial_portion(&self) -> f64 {
+        self.shuffle + self.merge + self.reduce
+    }
+}
+
+/// The decomposed measurements for one scale-out degree, combining the
+/// sequential-execution reference run with the scale-out run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Scale-out degree `n`.
+    pub n: u32,
+    /// `Wp(n)`: time to execute all `n` tasks sequentially on one unit (s).
+    pub seq_parallel_work: f64,
+    /// `Ws(n)`: merge time in the sequential execution (s).
+    pub seq_serial_work: f64,
+    /// `max_i Tp,i(n)`: the slowest parallel task in the scale-out run (s).
+    pub par_map_time: f64,
+    /// Serial merge time in the scale-out run (s).
+    pub par_serial_time: f64,
+    /// `Wo(n)`: overheads present only in the scale-out run (s).
+    pub par_overhead: f64,
+}
+
+impl RunMeasurement {
+    /// Sequential job time `Wp(n) + Ws(n)` — the speedup numerator.
+    pub fn sequential_time(&self) -> f64 {
+        self.seq_parallel_work + self.seq_serial_work
+    }
+
+    /// Parallel job time — the speedup denominator (paper Eq. 7).
+    pub fn parallel_time(&self) -> f64 {
+        self.par_map_time + self.par_serial_time + self.par_overhead
+    }
+
+    /// The measured speedup `S(n)`.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_time() / self.parallel_time()
+    }
+
+    /// The measured scale-out-induced factor `q(n) = Wo(n)·n / Wp(n)`
+    /// (inverting paper Eq. 6).
+    pub fn q_factor(&self) -> f64 {
+        if self.seq_parallel_work <= 0.0 {
+            0.0
+        } else {
+            self.par_overhead * self.n as f64 / self.seq_parallel_work
+        }
+    }
+
+    /// Validates that all fields are finite and non-negative and `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] or [`ModelError::NonFinite`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.n == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let fields = [
+            self.seq_parallel_work,
+            self.seq_serial_work,
+            self.par_map_time,
+            self.par_serial_time,
+            self.par_overhead,
+        ];
+        if fields.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(ModelError::NonFinite("run measurement field"));
+        }
+        Ok(())
+    }
+}
+
+/// Converts a set of run measurements into a speedup curve.
+///
+/// # Errors
+///
+/// Propagates validation errors and curve-construction errors.
+pub fn speedup_curve_from_runs(runs: &[RunMeasurement]) -> Result<SpeedupCurve, ModelError> {
+    for r in runs {
+        r.validate()?;
+    }
+    SpeedupCurve::from_pairs(runs.iter().map(|r| (r.n, r.speedup())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: u32, wp: f64, ws: f64, tmax: f64, tser: f64, wo: f64) -> RunMeasurement {
+        RunMeasurement {
+            n,
+            seq_parallel_work: wp,
+            seq_serial_work: ws,
+            par_map_time: tmax,
+            par_serial_time: tser,
+            par_overhead: wo,
+        }
+    }
+
+    #[test]
+    fn curve_sorts_and_validates() {
+        let c = SpeedupCurve::from_pairs([(4, 3.0), (1, 1.0), (2, 1.9)]).unwrap();
+        assert_eq!(c.ns(), vec![1.0, 2.0, 4.0]);
+        assert!(c.is_monotonic_increasing());
+        assert_eq!(c.peak().unwrap().n, 4);
+    }
+
+    #[test]
+    fn curve_rejects_zero_n_and_nan() {
+        assert!(SpeedupCurve::from_pairs([(0, 1.0)]).is_err());
+        assert!(SpeedupCurve::from_pairs([(1, f64::NAN)]).is_err());
+        assert!(SpeedupCurve::from_pairs([(1, 1.0), (1, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn up_to_window_filters() {
+        let c = SpeedupCurve::from_pairs([(1, 1.0), (8, 6.0), (16, 10.0), (32, 12.0)]).unwrap();
+        let w = c.up_to(16);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.points().last().unwrap().n, 16);
+    }
+
+    #[test]
+    fn peaked_curve_detected() {
+        let c = SpeedupCurve::from_pairs([(1, 1.0), (10, 15.0), (60, 21.0), (90, 18.0)]).unwrap();
+        assert!(!c.is_monotonic_increasing());
+        let p = c.peak().unwrap();
+        assert_eq!(p.n, 60);
+        assert!((p.speedup - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_breakdown_accounting() {
+        let b = PhaseBreakdown { init: 1.0, map: 10.0, shuffle: 2.0, merge: 3.0, reduce: 4.0 };
+        assert!((b.total() - 20.0).abs() < 1e-12);
+        assert!((b.serial_portion() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_measurement_speedup_and_q() {
+        let r = run(10, 100.0, 20.0, 10.0, 20.0, 5.0);
+        assert!((r.sequential_time() - 120.0).abs() < 1e-12);
+        assert!((r.parallel_time() - 35.0).abs() < 1e-12);
+        assert!((r.speedup() - 120.0 / 35.0).abs() < 1e-12);
+        // q = 5 * 10 / 100 = 0.5
+        assert!((r.q_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_measurement_validation() {
+        assert!(run(1, 1.0, 1.0, 1.0, 1.0, 0.0).validate().is_ok());
+        assert!(run(0, 1.0, 1.0, 1.0, 1.0, 0.0).validate().is_err());
+        assert!(run(1, -1.0, 1.0, 1.0, 1.0, 0.0).validate().is_err());
+        assert!(run(1, f64::INFINITY, 1.0, 1.0, 1.0, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn curve_from_runs() {
+        let runs =
+            vec![run(1, 10.0, 2.0, 10.0, 2.0, 0.0), run(4, 40.0, 4.0, 10.0, 4.0, 1.0)];
+        let c = speedup_curve_from_runs(&runs).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!((c.points()[0].speedup - 1.0).abs() < 1e-12);
+        assert!((c.points()[1].speedup - 44.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: SpeedupCurve = [SpeedupPoint { n: 2, speedup: 2.0 }, SpeedupPoint { n: 1, speedup: 1.0 }]
+            .into_iter()
+            .collect();
+        assert_eq!(c.points()[0].n, 1);
+    }
+}

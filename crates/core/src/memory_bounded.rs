@@ -1,0 +1,143 @@
+//! Memory-bounded external scaling (Sun-Ni's `g(n)`).
+//!
+//! Sun-Ni's law generalizes the external scaling to `EX(n) = g(n)`, the
+//! largest workload the aggregate memory of `n` nodes can hold. The paper
+//! observes that for block-size-bounded data-intensive workloads
+//! `g(n) ≈ n` with high precision, making Sun-Ni coincide with Gustafson
+//! (Fig. 6, "memory bounded … EX(n) closely follows fixed-time").
+//! This module derives `g(n)` from first principles so that claim can be
+//! *checked* instead of assumed.
+
+use crate::error::check_scale_out;
+use crate::factors::ScalingFactor;
+use crate::ModelError;
+
+/// Memory-bounded workload scaling derived from per-node capacity.
+///
+/// The working set at `n = 1` occupies `base_working_set` bytes; each
+/// node can hold `node_capacity` bytes of it. How the workload can grow
+/// with `n` then depends on how the computation's memory footprint scales
+/// with the problem size, captured by `footprint_exponent` `k`: a problem
+/// of size `x` needs `x^k` memory. `g(n)` solves
+/// `footprint(g(n) · base) = n · capacity_used(1)`, i.e.
+/// `g(n) = n^(1/k)`.
+///
+/// * `k = 1` — linear footprint (sorting, counting, scanning):
+///   `g(n) = n`, the paper's case;
+/// * `k = 2` — quadratic footprint (dense matrix per problem dimension):
+///   `g(n) = √n`, the classic Sun-Ni example where memory-bounded scaling
+///   sits strictly between Amdahl and Gustafson.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBoundedScaling {
+    /// Memory footprint exponent `k ≥ 1` of the computation.
+    pub footprint_exponent: f64,
+}
+
+impl MemoryBoundedScaling {
+    /// Creates the scaling law for a footprint exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFactor`] unless `k ≥ 1` and finite.
+    pub fn new(footprint_exponent: f64) -> Result<Self, ModelError> {
+        if !footprint_exponent.is_finite() || footprint_exponent < 1.0 {
+            return Err(ModelError::InvalidFactor {
+                factor: "EX",
+                reason: "memory footprint exponent must be >= 1",
+            });
+        }
+        Ok(MemoryBoundedScaling { footprint_exponent })
+    }
+
+    /// The data-intensive case: records stream through bounded per-node
+    /// blocks, footprint is linear, `g(n) = n`.
+    pub fn block_bounded() -> Self {
+        MemoryBoundedScaling { footprint_exponent: 1.0 }
+    }
+
+    /// `g(n) = n^(1/k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for invalid `n`.
+    pub fn g(&self, n: f64) -> Result<f64, ModelError> {
+        check_scale_out(n)?;
+        Ok(n.powf(1.0 / self.footprint_exponent))
+    }
+
+    /// The corresponding external scaling factor for an [`crate::IpsoModel`].
+    pub fn external_factor(&self) -> ScalingFactor {
+        ScalingFactor::power(1.0, 1.0 / self.footprint_exponent)
+    }
+
+    /// Maximum relative deviation of `g(n)` from the fixed-time scaling
+    /// `n` over `1..=n_max` — the quantity behind the paper's
+    /// "`g(n) ≈ n` with high precision" claim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn deviation_from_fixed_time(&self, n_max: u32) -> Result<f64, ModelError> {
+        let mut worst = 0.0f64;
+        for n in 1..=n_max {
+            let nf = f64::from(n);
+            let g = self.g(nf)?;
+            worst = worst.max((g - nf).abs() / nf);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic;
+
+    #[test]
+    fn block_bounded_equals_fixed_time_exactly() {
+        let m = MemoryBoundedScaling::block_bounded();
+        for n in [1u32, 16, 200] {
+            assert_eq!(m.g(f64::from(n)).unwrap(), f64::from(n));
+        }
+        assert_eq!(m.deviation_from_fixed_time(200).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quadratic_footprint_gives_sqrt_scaling() {
+        let m = MemoryBoundedScaling::new(2.0).unwrap();
+        assert!((m.g(64.0).unwrap() - 8.0).abs() < 1e-12);
+        // Deviation from fixed-time is large: Sun-Ni ≠ Gustafson here.
+        assert!(m.deviation_from_fixed_time(64).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn sun_ni_with_derived_g_sits_between_amdahl_and_gustafson() {
+        let m = MemoryBoundedScaling::new(2.0).unwrap();
+        let eta = 0.9;
+        for n in [4.0, 64.0, 1024.0] {
+            let s = classic::sun_ni(eta, n, |v| m.g(v).unwrap()).unwrap();
+            let a = classic::amdahl(eta, n).unwrap();
+            let g = classic::gustafson(eta, n).unwrap();
+            assert!(s >= a - 1e-9, "n = {n}: sun-ni {s} < amdahl {a}");
+            assert!(s <= g + 1e-9, "n = {n}: sun-ni {s} > gustafson {g}");
+        }
+    }
+
+    #[test]
+    fn external_factor_plugs_into_the_model() {
+        use crate::model::IpsoModel;
+        let m = MemoryBoundedScaling::new(2.0).unwrap();
+        let model = IpsoModel::builder(0.9).external(m.external_factor()).build().unwrap();
+        let direct = classic::sun_ni(0.9, 64.0, |v| v.sqrt()).unwrap();
+        assert!((model.speedup(64.0).unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MemoryBoundedScaling::new(0.5).is_err());
+        assert!(MemoryBoundedScaling::new(f64::NAN).is_err());
+        assert!(MemoryBoundedScaling::new(1.0).is_ok());
+        let m = MemoryBoundedScaling::block_bounded();
+        assert!(m.g(0.0).is_err());
+    }
+}

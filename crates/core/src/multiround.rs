@@ -1,0 +1,327 @@
+//! Multi-round job execution (paper Section III).
+//!
+//! *"This model can also be applied to the case where there are multiple
+//! rounds of the split and merge phases with the same number of
+//! processing units in each split phase. … by viewing `Wp(n)`, `Ws(n)`
+//! and `Wo(n)` as the sum of the corresponding workloads in all rounds,
+//! the above IPSO model can be applied to the case involving multiple
+//! rounds of the same scale-out degree."*
+//!
+//! [`MultiRoundJob`] composes per-round workload descriptions into one
+//! aggregate IPSO model and exposes the per-round and total speedups.
+
+use crate::error::check_scale_out;
+use crate::factors::ScalingFactor;
+use crate::ModelError;
+
+/// One round's workload description: absolute workloads at `n = 1` plus
+/// the three scaling factors for that round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// Round label (e.g. `"iteration-3/users"`).
+    pub name: String,
+    /// Parallelizable workload of the round at `n = 1`, seconds.
+    pub wp1: f64,
+    /// Serial (merge) workload of the round at `n = 1`, seconds.
+    pub ws1: f64,
+    /// External scaling of the round.
+    pub external: ScalingFactor,
+    /// Internal scaling of the round.
+    pub internal: ScalingFactor,
+    /// Scale-out-induced factor of the round.
+    pub induced: ScalingFactor,
+}
+
+impl Round {
+    /// A convenience constructor for a Gustafson-style round
+    /// (`EX(n) = n`, `IN(n) = 1`, `q(n) = 0`).
+    pub fn fixed_time(name: &str, wp1: f64, ws1: f64) -> Round {
+        Round {
+            name: name.to_string(),
+            wp1,
+            ws1,
+            external: ScalingFactor::linear(),
+            internal: ScalingFactor::one(),
+            induced: ScalingFactor::zero(),
+        }
+    }
+
+    /// A fixed-size round (`EX(n) = 1`).
+    pub fn fixed_size(name: &str, wp1: f64, ws1: f64) -> Round {
+        Round { external: ScalingFactor::one(), ..Round::fixed_time(name, wp1, ws1) }
+    }
+
+    /// Sets the internal scaling factor.
+    pub fn with_internal(mut self, factor: ScalingFactor) -> Round {
+        self.internal = factor;
+        self
+    }
+
+    /// Sets the scale-out-induced factor.
+    pub fn with_induced(mut self, factor: ScalingFactor) -> Round {
+        self.induced = factor;
+        self
+    }
+
+    /// Validates the round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonFinite`] for bad workloads and factor
+    /// validation errors.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.wp1.is_finite() || self.wp1 < 0.0 {
+            return Err(ModelError::NonFinite("round parallel workload"));
+        }
+        if !self.ws1.is_finite() || self.ws1 < 0.0 {
+            return Err(ModelError::NonFinite("round serial workload"));
+        }
+        if self.wp1 + self.ws1 <= 0.0 {
+            return Err(ModelError::NonFinite("round total workload"));
+        }
+        self.external.validate_structure()?;
+        self.internal.validate_structure()?;
+        self.induced.validate_structure()
+    }
+
+    /// The round's parallelizable workload at degree `n` (s).
+    pub fn wp(&self, n: f64) -> f64 {
+        self.wp1 * self.external.eval(n) / self.external.eval(1.0).max(1e-300)
+    }
+
+    /// The round's serial workload at degree `n` (s).
+    pub fn ws(&self, n: f64) -> f64 {
+        if self.ws1 == 0.0 {
+            0.0
+        } else {
+            self.ws1 * self.internal.eval(n) / self.internal.eval(1.0).max(1e-300)
+        }
+    }
+
+    /// The round's scale-out-induced workload at degree `n` (s),
+    /// `Wo(n) = Wp(n)/n · q(n)`.
+    pub fn wo(&self, n: f64) -> f64 {
+        self.wp(n) / n * self.induced.eval(n)
+    }
+}
+
+/// A job of several barrier-synchronized rounds with one scale-out
+/// degree.
+///
+/// # Example
+///
+/// ```
+/// use ipso::multiround::{MultiRoundJob, Round};
+/// use ipso::ScalingFactor;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// // Two CF-style fixed-size rounds with broadcast-induced overhead.
+/// let job = MultiRoundJob::new(vec![
+///     Round::fixed_size("users", 800.0, 0.0)
+///         .with_induced(ScalingFactor::induced(0.0003, 2.0)),
+///     Round::fixed_size("items", 800.0, 0.0)
+///         .with_induced(ScalingFactor::induced(0.0003, 2.0)),
+/// ])?;
+/// let (n_peak, _) = job.peak_speedup(300)?;
+/// assert!(n_peak > 1 && n_peak < 300);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRoundJob {
+    rounds: Vec<Round>,
+}
+
+impl MultiRoundJob {
+    /// Creates a job from its rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientData`] for an empty round list
+    /// and propagates round validation errors.
+    pub fn new(rounds: Vec<Round>) -> Result<MultiRoundJob, ModelError> {
+        if rounds.is_empty() {
+            return Err(ModelError::InsufficientData { points: 0, required: 1 });
+        }
+        for r in &rounds {
+            r.validate()?;
+        }
+        Ok(MultiRoundJob { rounds })
+    }
+
+    /// The rounds.
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// Aggregate parallelizable fraction at `n = 1` (paper Eq. 9 over the
+    /// round sums).
+    pub fn eta(&self) -> f64 {
+        let wp: f64 = self.rounds.iter().map(|r| r.wp1).sum();
+        let ws: f64 = self.rounds.iter().map(|r| r.ws1).sum();
+        wp / (wp + ws)
+    }
+
+    /// Total sequential execution time at degree `n` (s): every round's
+    /// parallel portion run on one unit plus its merge.
+    pub fn sequential_time(&self, n: f64) -> f64 {
+        self.rounds.iter().map(|r| r.wp(n) + r.ws(n)).sum()
+    }
+
+    /// Total parallel execution time at degree `n` (s): per round, the
+    /// split phase `Wp(n)/n` (deterministic tasks), the induced workload
+    /// and the serial merge — rounds are barrier-synchronized so times
+    /// add.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for invalid `n`.
+    pub fn parallel_time(&self, n: f64) -> Result<f64, ModelError> {
+        check_scale_out(n)?;
+        Ok(self.rounds.iter().map(|r| r.wp(n) / n + r.wo(n) + r.ws(n)).sum())
+    }
+
+    /// The multi-round speedup `S(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for invalid `n` and
+    /// [`ModelError::NonFinite`] for a degenerate denominator.
+    pub fn speedup(&self, n: f64) -> Result<f64, ModelError> {
+        let num = self.sequential_time(n);
+        let den = self.parallel_time(n)?;
+        if den <= 0.0 || !den.is_finite() {
+            return Err(ModelError::NonFinite("multi-round speedup"));
+        }
+        Ok(num / den)
+    }
+
+    /// The degree maximizing the speedup in `[1, n_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; rejects `n_max = 0`.
+    pub fn peak_speedup(&self, n_max: u32) -> Result<(u32, f64), ModelError> {
+        if n_max == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let mut best = (1u32, self.speedup(1.0)?);
+        for n in 2..=n_max {
+            let s = self.speedup(f64::from(n))?;
+            if s > best.1 {
+                best = (n, s);
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IpsoModel;
+
+    #[test]
+    fn single_round_matches_ipso_model() {
+        let round = Round::fixed_time("only", 9.0, 1.0)
+            .with_internal(ScalingFactor::affine(0.36, 0.64));
+        let job = MultiRoundJob::new(vec![round]).unwrap();
+        let model = IpsoModel::builder(0.9)
+            .external(ScalingFactor::linear())
+            .internal(ScalingFactor::affine(0.36, 0.64))
+            .build()
+            .unwrap();
+        for n in [1.0, 4.0, 32.0, 200.0] {
+            let a = job.speedup(n).unwrap();
+            let b = model.speedup(n).unwrap();
+            assert!((a - b).abs() / b < 1e-12, "n = {n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identical_rounds_have_the_single_round_speedup() {
+        // R copies of the same round: workloads sum, ratios unchanged.
+        let mk = |copies: usize| {
+            let rounds = (0..copies)
+                .map(|i| {
+                    Round::fixed_time(&format!("r{i}"), 10.0, 2.0)
+                        .with_internal(ScalingFactor::affine(0.5, 0.5))
+                })
+                .collect();
+            MultiRoundJob::new(rounds).unwrap()
+        };
+        let one = mk(1);
+        let five = mk(5);
+        for n in [2.0, 16.0, 128.0] {
+            assert!((one.speedup(n).unwrap() - five.speedup(n).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eta_aggregates_across_rounds() {
+        let job = MultiRoundJob::new(vec![
+            Round::fixed_time("compute", 30.0, 0.0),
+            Round::fixed_time("merge-heavy", 10.0, 10.0),
+        ])
+        .unwrap();
+        assert!((job.eta() - 40.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_rounds_blend_behaviours() {
+        // A Gustafson round plus a pathological broadcast round: the
+        // aggregate peaks (the pathology wins at scale) but later than the
+        // pathological round alone.
+        let pathological = MultiRoundJob::new(vec![Round::fixed_size("bcast", 100.0, 0.0)
+            .with_induced(ScalingFactor::induced(0.001, 2.0))])
+        .unwrap();
+        let blended = MultiRoundJob::new(vec![
+            Round::fixed_time("clean", 100.0, 0.0),
+            Round::fixed_size("bcast", 100.0, 0.0)
+                .with_induced(ScalingFactor::induced(0.001, 2.0)),
+        ])
+        .unwrap();
+        let (p_alone, _) = pathological.peak_speedup(2000).unwrap();
+        let (p_blend, _) = blended.peak_speedup(2000).unwrap();
+        assert!(p_alone > 1 && p_alone < 2000);
+        assert!(p_blend >= p_alone, "blend peak {p_blend} vs alone {p_alone}");
+    }
+
+    #[test]
+    fn collaborative_filtering_shape() {
+        // Three iterations × two broadcast rounds, fixed-size: IVs with an
+        // interior peak, as in the paper's CF case.
+        // Peak at n* ~ sqrt(1/beta) = 60 when every round carries the
+        // same broadcast-induced q(n) = beta*(n^2 - 1).
+        let rounds: Vec<Round> = (0..6)
+            .map(|i| {
+                Round::fixed_size(&format!("round-{i}"), 1600.0 / 6.0, 0.0)
+                    .with_induced(ScalingFactor::induced(1.0 / 3600.0, 2.0))
+            })
+            .collect();
+        let job = MultiRoundJob::new(rounds).unwrap();
+        let (n_peak, s_peak) = job.peak_speedup(300).unwrap();
+        assert!((30..=90).contains(&n_peak), "peak at {n_peak}");
+        assert!(s_peak < 40.0);
+        assert!(job.speedup(300.0).unwrap() < s_peak);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(MultiRoundJob::new(Vec::new()).is_err());
+        let bad = Round { wp1: -1.0, ..Round::fixed_time("x", 1.0, 1.0) };
+        assert!(MultiRoundJob::new(vec![bad]).is_err());
+        let zero = Round::fixed_time("z", 0.0, 0.0);
+        assert!(MultiRoundJob::new(vec![zero]).is_err());
+    }
+
+    #[test]
+    fn speedup_at_one_is_unity_without_induced() {
+        let job = MultiRoundJob::new(vec![
+            Round::fixed_time("a", 5.0, 1.0),
+            Round::fixed_size("b", 3.0, 2.0),
+        ])
+        .unwrap();
+        assert!((job.speedup(1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Speedup-versus-cost provisioning (paper Sections I and VI).
+//!
+//! The paper motivates IPSO with the need to make "informed datacenter
+//! resource provisioning decisions … to achieve the best
+//! speedup-versus-cost tradeoffs", and closes by proposing
+//! measurement-based provisioning as future work. This module implements
+//! the optimization layer: given a fitted [`IpsoModel`], a baseline job
+//! time and a price model, find the scale-out degree that maximizes raw
+//! speedup, cost-efficiency, or meets a deadline at minimum cost.
+
+use crate::model::IpsoModel;
+use crate::ModelError;
+
+/// A simple cloud price model: one master plus `n` workers, billed per
+/// hour of job wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Hourly cost of one worker node (the paper's m4.large units).
+    pub worker_hourly: f64,
+    /// Hourly cost of the master node (the paper's m4.4xlarge).
+    pub master_hourly: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Approximate 2019 EC2 on-demand pricing: m4.large $0.10/h,
+        // m4.4xlarge $0.80/h.
+        CostModel { worker_hourly: 0.10, master_hourly: 0.80 }
+    }
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonFinite`] for non-finite or negative rates.
+    pub fn new(worker_hourly: f64, master_hourly: f64) -> Result<Self, ModelError> {
+        if !worker_hourly.is_finite()
+            || !master_hourly.is_finite()
+            || worker_hourly < 0.0
+            || master_hourly < 0.0
+        {
+            return Err(ModelError::NonFinite("cost rate"));
+        }
+        Ok(CostModel { worker_hourly, master_hourly })
+    }
+
+    /// Hourly cluster cost at scale-out degree `n`.
+    pub fn cluster_hourly(&self, n: u32) -> f64 {
+        self.master_hourly + self.worker_hourly * n as f64
+    }
+}
+
+/// One provisioning candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProvisioningPoint {
+    /// Scale-out degree.
+    pub n: u32,
+    /// Predicted speedup `S(n)`.
+    pub speedup: f64,
+    /// Predicted job wall-clock time (s).
+    pub job_time: f64,
+    /// Predicted job cost ($).
+    pub job_cost: f64,
+    /// Speedup per dollar — the efficiency objective.
+    pub speedup_per_dollar: f64,
+}
+
+/// The provisioning analyzer.
+///
+/// # Example
+///
+/// ```
+/// use ipso::provision::{CostModel, Provisioner};
+/// use ipso::{IpsoModel, ScalingFactor};
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// // A fixed-size job with a 10% serial fraction and mild induced
+/// // overhead: speedup saturates, so buying more nodes stops paying off.
+/// let model = IpsoModel::builder(0.9)
+///     .induced(ScalingFactor::induced(0.002, 1.0))
+///     .build()?;
+/// let p = Provisioner::new(model, 3600.0, CostModel::default())?;
+/// let best = p.most_efficient(200)?;
+/// assert!(best.n < 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Provisioner {
+    model: IpsoModel,
+    /// Sequential job time at `n = 1` (s).
+    t1: f64,
+    cost: CostModel,
+}
+
+impl Provisioner {
+    /// Creates a provisioner for a job whose sequential execution at
+    /// `n = 1` takes `t1_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonFinite`] for a non-positive baseline time.
+    pub fn new(model: IpsoModel, t1_seconds: f64, cost: CostModel) -> Result<Self, ModelError> {
+        if !t1_seconds.is_finite() || t1_seconds <= 0.0 {
+            return Err(ModelError::NonFinite("baseline job time"));
+        }
+        Ok(Provisioner { model, t1: t1_seconds, cost })
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &IpsoModel {
+        &self.model
+    }
+
+    /// Evaluates one provisioning candidate.
+    ///
+    /// The job's wall-clock time at degree `n` is
+    /// `t1 · parallel_time(n)` (where `parallel_time` is normalized to the
+    /// `n = 1` sequential workload), and its cost is the cluster-hour rate
+    /// times that duration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-evaluation errors.
+    pub fn evaluate(&self, n: u32) -> Result<ProvisioningPoint, ModelError> {
+        let nf = n as f64;
+        let speedup = self.model.speedup(nf)?;
+        let job_time = self.t1 * self.model.parallel_time(nf);
+        let job_cost = self.cost.cluster_hourly(n) * job_time / 3600.0;
+        let speedup_per_dollar = if job_cost > 0.0 { speedup / job_cost } else { f64::INFINITY };
+        Ok(ProvisioningPoint { n, speedup, job_time, job_cost, speedup_per_dollar })
+    }
+
+    /// Evaluates all degrees in `[1, n_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    pub fn sweep(&self, n_max: u32) -> Result<Vec<ProvisioningPoint>, ModelError> {
+        (1..=n_max).map(|n| self.evaluate(n)).collect()
+    }
+
+    /// The degree maximizing the raw speedup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; rejects `n_max = 0`.
+    pub fn fastest(&self, n_max: u32) -> Result<ProvisioningPoint, ModelError> {
+        self.arg_best(n_max, |p| p.speedup)
+    }
+
+    /// The degree maximizing speedup per dollar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; rejects `n_max = 0`.
+    pub fn most_efficient(&self, n_max: u32) -> Result<ProvisioningPoint, ModelError> {
+        self.arg_best(n_max, |p| p.speedup_per_dollar)
+    }
+
+    /// The cheapest degree whose predicted job time meets `deadline`
+    /// seconds, or `None` when no degree in `[1, n_max]` does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn cheapest_meeting_deadline(
+        &self,
+        deadline: f64,
+        n_max: u32,
+    ) -> Result<Option<ProvisioningPoint>, ModelError> {
+        let mut best: Option<ProvisioningPoint> = None;
+        for n in 1..=n_max {
+            let p = self.evaluate(n)?;
+            if p.job_time <= deadline {
+                let better = best.as_ref().map_or(true, |b| p.job_cost < b.job_cost);
+                if better {
+                    best = Some(p);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// The "knee": the smallest degree achieving at least `fraction`
+    /// (e.g. 0.9) of the best speedup reachable within `[1, n_max]`.
+    /// Scaling past the knee buys little speedup for linearly growing
+    /// cluster cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; `fraction` must be in `(0, 1]`.
+    pub fn knee(&self, fraction: f64, n_max: u32) -> Result<ProvisioningPoint, ModelError> {
+        if !(0.0..=1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(ModelError::NonFinite("knee fraction"));
+        }
+        let peak = self.fastest(n_max)?;
+        for n in 1..=n_max {
+            let p = self.evaluate(n)?;
+            if p.speedup >= fraction * peak.speedup {
+                return Ok(p);
+            }
+        }
+        Ok(peak)
+    }
+
+    fn arg_best<F>(&self, n_max: u32, key: F) -> Result<ProvisioningPoint, ModelError>
+    where
+        F: Fn(&ProvisioningPoint) -> f64,
+    {
+        if n_max == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let mut best = self.evaluate(1)?;
+        for n in 2..=n_max {
+            let p = self.evaluate(n)?;
+            if key(&p) > key(&best) {
+                best = p;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::ScalingFactor;
+
+    fn amdahl_provisioner(eta: f64) -> Provisioner {
+        let model = IpsoModel::builder(eta).build().unwrap();
+        Provisioner::new(model, 3600.0, CostModel::default()).unwrap()
+    }
+
+    #[test]
+    fn cluster_cost_is_linear_in_n() {
+        let c = CostModel::default();
+        assert!((c.cluster_hourly(0) - 0.80).abs() < 1e-12);
+        assert!((c.cluster_hourly(10) - 1.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_job_time_shrinks_with_n() {
+        let p = amdahl_provisioner(0.95);
+        let a = p.evaluate(1).unwrap();
+        let b = p.evaluate(32).unwrap();
+        assert!(b.job_time < a.job_time);
+        assert!((a.job_time - 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_peaks_before_speedup_for_bounded_workloads() {
+        let p = amdahl_provisioner(0.9);
+        let fastest = p.fastest(500).unwrap();
+        let efficient = p.most_efficient(500).unwrap();
+        assert!(efficient.n < fastest.n, "efficient {} vs fastest {}", efficient.n, fastest.n);
+    }
+
+    #[test]
+    fn pathological_workload_has_interior_speedup_peak() {
+        let model = IpsoModel::builder(1.0)
+            .induced(ScalingFactor::induced(0.001, 2.0))
+            .build()
+            .unwrap();
+        let p = Provisioner::new(model, 1000.0, CostModel::default()).unwrap();
+        let fastest = p.fastest(300).unwrap();
+        assert!(fastest.n > 1 && fastest.n < 300);
+    }
+
+    #[test]
+    fn deadline_selects_cheapest_feasible() {
+        let p = amdahl_provisioner(0.95);
+        // With η = 0.95 the speedup at n = 19 is 10×, job time 360 s.
+        let pick = p.cheapest_meeting_deadline(360.0, 200).unwrap().unwrap();
+        assert!(pick.job_time <= 360.0);
+        // All cheaper configurations must miss the deadline.
+        for n in 1..pick.n {
+            let q = p.evaluate(n).unwrap();
+            assert!(q.job_time > 360.0 || q.job_cost >= pick.job_cost);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_returns_none() {
+        let p = amdahl_provisioner(0.5); // bound 2× — 1s deadline unreachable
+        assert!(p.cheapest_meeting_deadline(1.0, 100).unwrap().is_none());
+    }
+
+    #[test]
+    fn knee_is_modest_for_amdahl() {
+        let p = amdahl_provisioner(0.9);
+        let knee = p.knee(0.9, 1000).unwrap();
+        let fastest = p.fastest(1000).unwrap();
+        assert!(knee.n < fastest.n);
+        assert!(knee.speedup >= 0.9 * fastest.speedup);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let model = IpsoModel::builder(0.9).build().unwrap();
+        assert!(Provisioner::new(model.clone(), 0.0, CostModel::default()).is_err());
+        assert!(CostModel::new(-1.0, 0.0).is_err());
+        let p = Provisioner::new(model, 10.0, CostModel::default()).unwrap();
+        assert!(p.fastest(0).is_err());
+        assert!(p.knee(0.0, 10).is_err());
+    }
+
+    #[test]
+    fn sweep_has_full_range() {
+        let p = amdahl_provisioner(0.8);
+        let sweep = p.sweep(16).unwrap();
+        assert_eq!(sweep.len(), 16);
+        assert_eq!(sweep[0].n, 1);
+        assert_eq!(sweep[15].n, 16);
+    }
+}

@@ -1,0 +1,224 @@
+//! One-shot analysis reports.
+//!
+//! [`analyze`] runs the full pipeline on a set of run measurements —
+//! factor estimation, taxonomy classification, large-`n` prediction and
+//! provisioning — and renders a self-contained Markdown report, the
+//! artifact a practitioner would attach to a capacity-planning decision.
+
+use std::fmt::Write as _;
+
+use crate::diagnose::Diagnostician;
+use crate::estimate::estimate_factors;
+use crate::measurement::{speedup_curve_from_runs, RunMeasurement};
+use crate::predict::ScalingPredictor;
+use crate::provision::{CostModel, Provisioner};
+use crate::taxonomy::WorkloadType;
+use crate::ModelError;
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportOptions {
+    /// Workload type (step 1 of the paper's procedure).
+    pub workload: WorkloadType,
+    /// Fit window: factors are fitted on `n ≤ fit_window`.
+    pub fit_window: u32,
+    /// Largest scale-out degree to consider for predictions and
+    /// provisioning.
+    pub n_max: u32,
+    /// Price model for the provisioning section.
+    pub cost: CostModel,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            workload: WorkloadType::FixedTime,
+            fit_window: 16,
+            n_max: 200,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Runs the full analysis pipeline and renders a Markdown report.
+///
+/// # Errors
+///
+/// Propagates estimation, diagnosis, prediction and provisioning errors;
+/// requires at least four runs.
+///
+/// # Example
+///
+/// ```
+/// use ipso::report::{analyze, ReportOptions};
+/// use ipso::RunMeasurement;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// let runs: Vec<RunMeasurement> = [1u32, 2, 4, 8, 16, 32]
+///     .iter()
+///     .map(|&n| {
+///         let nf = f64::from(n);
+///         RunMeasurement {
+///             n,
+///             seq_parallel_work: 10.0 * nf,
+///             seq_serial_work: 2.0 * (0.4 * nf + 0.6),
+///             par_map_time: 10.0,
+///             par_serial_time: 2.0 * (0.4 * nf + 0.6),
+///             par_overhead: 0.0,
+///         }
+///     })
+///     .collect();
+/// let report = analyze(&runs, &ReportOptions::default())?;
+/// assert!(report.contains("## Scaling classification"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, ModelError> {
+    if runs.len() < 4 {
+        return Err(ModelError::InsufficientData { points: runs.len(), required: 4 });
+    }
+    let curve = speedup_curve_from_runs(runs)?;
+    let estimates = estimate_factors(runs)?;
+    let diagnostician = Diagnostician::new();
+    let coarse = diagnostician.diagnose(&curve, opts.workload)?;
+    let refined = diagnostician.refine(&coarse, &estimates)?;
+    let predictor = ScalingPredictor::fit(runs, opts.fit_window)?;
+    let t1 = runs.iter().min_by_key(|r| r.n).expect("non-empty").sequential_time();
+    let provisioner = Provisioner::new(predictor.model().clone(), t1, opts.cost)?;
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "# IPSO scaling analysis").expect("string write");
+    writeln!(w).expect("string write");
+    writeln!(w, "- workload type: {}", opts.workload).expect("string write");
+    writeln!(w, "- measured degrees: {:?}", curve.ns().iter().map(|v| *v as u32).collect::<Vec<_>>())
+        .expect("string write");
+    writeln!(w, "- fit window: n <= {}", opts.fit_window).expect("string write");
+
+    writeln!(w, "\n## Measured speedups\n").expect("string write");
+    writeln!(w, "| n | speedup |").expect("string write");
+    writeln!(w, "|---|---|").expect("string write");
+    for p in curve.points() {
+        writeln!(w, "| {} | {:.2} |", p.n, p.speedup).expect("string write");
+    }
+
+    writeln!(w, "\n## Fitted scaling factors\n").expect("string write");
+    writeln!(w, "- eta (parallelizable fraction): **{:.4}**", estimates.eta)
+        .expect("string write");
+    writeln!(w, "- EX(n): {:?} ({:?})", estimates.external.shape, estimates.external.factor)
+        .expect("string write");
+    writeln!(w, "- IN(n): {:?} ({:?})", estimates.internal.shape, estimates.internal.factor)
+        .expect("string write");
+    writeln!(w, "- q(n): {:?} ({:?})", estimates.induced.shape, estimates.induced.factor)
+        .expect("string write");
+    if let Ok(params) = estimates.to_asymptotic() {
+        writeln!(
+            w,
+            "- asymptotic form: alpha = {:.3}, delta = {:.3}, beta = {:.5}, gamma = {:.3}",
+            params.alpha, params.delta, params.beta, params.gamma
+        )
+        .expect("string write");
+    }
+
+    writeln!(w, "\n## Scaling classification\n").expect("string write");
+    writeln!(w, "**{}**", refined.class).expect("string write");
+    writeln!(w).expect("string write");
+    writeln!(w, "{}", refined.root_cause).expect("string write");
+    if let Some(bound) = refined.bound_estimate {
+        if bound > 0.0 {
+            writeln!(w, "\nEstimated speedup bound: **{bound:.2}**").expect("string write");
+        } else if refined.class.peaks() {
+            writeln!(w, "\nThe speedup peaks and then falls — scaling out past the peak harms performance.")
+                .expect("string write");
+        }
+    }
+
+    writeln!(w, "\n## Predictions\n").expect("string write");
+    writeln!(w, "| n | predicted speedup |").expect("string write");
+    writeln!(w, "|---|---|").expect("string write");
+    let mut n = opts.fit_window.max(1) * 2;
+    while n <= opts.n_max {
+        writeln!(w, "| {} | {:.2} |", n, predictor.predict(f64::from(n))?)
+            .expect("string write");
+        n *= 2;
+    }
+
+    writeln!(w, "\n## Provisioning (worker ${:.2}/h, master ${:.2}/h)\n", opts.cost.worker_hourly, opts.cost.master_hourly)
+        .expect("string write");
+    let fastest = provisioner.fastest(opts.n_max)?;
+    let efficient = provisioner.most_efficient(opts.n_max)?;
+    let knee = provisioner.knee(0.9, opts.n_max)?;
+    writeln!(w, "| objective | n | speedup | job time (s) | job cost ($) |")
+        .expect("string write");
+    writeln!(w, "|---|---|---|---|---|").expect("string write");
+    for (label, p) in
+        [("fastest", fastest), ("most efficient", efficient), ("90%-of-peak knee", knee)]
+    {
+        writeln!(
+            w,
+            "| {label} | {} | {:.2} | {:.1} | {:.4} |",
+            p.n, p.speedup, p.job_time, p.job_cost
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_like_runs() -> Vec<RunMeasurement> {
+        [1u32, 2, 4, 8, 12, 16, 32, 64]
+            .iter()
+            .map(|&n| {
+                let nf = f64::from(n);
+                let inn = 0.4 * nf + 0.6;
+                RunMeasurement {
+                    n,
+                    seq_parallel_work: 10.0 * nf,
+                    seq_serial_work: 3.0 * inn,
+                    par_map_time: 10.0,
+                    par_serial_time: 3.0 * inn,
+                    par_overhead: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let report = analyze(&sort_like_runs(), &ReportOptions::default()).unwrap();
+        for section in [
+            "# IPSO scaling analysis",
+            "## Measured speedups",
+            "## Fitted scaling factors",
+            "## Scaling classification",
+            "## Predictions",
+            "## Provisioning",
+        ] {
+            assert!(report.contains(section), "missing {section}: {report}");
+        }
+    }
+
+    #[test]
+    fn sort_like_runs_classify_as_iiit1_in_the_report() {
+        let report = analyze(&sort_like_runs(), &ReportOptions::default()).unwrap();
+        assert!(report.contains("IIIt,1"), "{report}");
+        assert!(report.contains("Estimated speedup bound"), "{report}");
+    }
+
+    #[test]
+    fn prediction_rows_cover_the_requested_range() {
+        let opts = ReportOptions { n_max: 128, ..ReportOptions::default() };
+        let report = analyze(&sort_like_runs(), &opts).unwrap();
+        assert!(report.contains("| 32 |"));
+        assert!(report.contains("| 128 |"));
+    }
+
+    #[test]
+    fn too_few_runs_rejected() {
+        let err = analyze(&sort_like_runs()[..3], &ReportOptions::default()).unwrap_err();
+        assert!(matches!(err, ModelError::InsufficientData { .. }));
+    }
+}

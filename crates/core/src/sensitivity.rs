@@ -1,0 +1,242 @@
+//! Sensitivity analysis of the asymptotic speedup.
+//!
+//! The paper closes with the provisioning problem: "how to quickly
+//! estimate the two scaling parameters, δ and γ". Estimation effort is
+//! best spent on the parameter the speedup is most sensitive to at the
+//! operating point, which is what this module quantifies — the partial
+//! *elasticities* `∂ln S / ∂ln θ` of the speedup with respect to each of
+//! the five asymptotic parameters.
+
+use crate::asymptotic::AsymptoticParams;
+use crate::error::check_scale_out;
+use crate::ModelError;
+
+/// Relative step used for the central finite differences.
+const REL_STEP: f64 = 1e-5;
+
+/// The elasticity of `S(n)` with respect to each parameter at one
+/// operating point: the percentage change of the speedup per 1% change of
+/// the parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// Operating scale-out degree.
+    pub n: f64,
+    /// Speedup at the operating point.
+    pub speedup: f64,
+    /// Elasticity with respect to η.
+    pub eta: f64,
+    /// Elasticity with respect to α.
+    pub alpha: f64,
+    /// Sensitivity to δ: `∂ln S / ∂δ` (δ is an exponent and may be zero,
+    /// so the plain derivative is reported instead of an elasticity).
+    pub delta: f64,
+    /// Elasticity with respect to β (zero when the model has no induced
+    /// workload).
+    pub beta: f64,
+    /// Sensitivity to γ: `∂ln S / ∂γ` (exponent, plain derivative).
+    pub gamma: f64,
+}
+
+impl Sensitivity {
+    /// Name of the parameter with the largest absolute sensitivity —
+    /// where measurement effort pays off most.
+    pub fn dominant(&self) -> &'static str {
+        let entries = [
+            ("eta", self.eta.abs()),
+            ("alpha", self.alpha.abs()),
+            ("delta", self.delta.abs()),
+            ("beta", self.beta.abs()),
+            ("gamma", self.gamma.abs()),
+        ];
+        entries
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sensitivities"))
+            .expect("non-empty")
+            .0
+    }
+}
+
+/// Computes the sensitivity of the asymptotic speedup at `(params, n)`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidScaleOut`] for invalid `n` and propagates
+/// evaluation errors (including perturbed evaluations).
+///
+/// # Example
+///
+/// ```
+/// use ipso::sensitivity::sensitivity;
+/// use ipso::AsymptoticParams;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// // A CF-like pathological workload: near the peak, γ dominates.
+/// let p = AsymptoticParams::new(1.0, 1.0, 0.0, 0.0004, 2.0)?;
+/// let s = sensitivity(&p, 100.0)?;
+/// assert_eq!(s.dominant(), "gamma");
+/// # Ok(())
+/// # }
+/// ```
+pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, ModelError> {
+    check_scale_out(n)?;
+    let s0 = params.speedup(n)?;
+
+    // Central difference of ln S under multiplicative perturbation
+    // (elasticity) or additive perturbation (exponents).
+    let eval = |p: &AsymptoticParams| p.speedup(n);
+
+    let elasticity = |lo: AsymptoticParams, hi: AsymptoticParams, h: f64| -> Result<f64, ModelError> {
+        let slo = eval(&lo)?;
+        let shi = eval(&hi)?;
+        Ok((shi.ln() - slo.ln()) / (2.0 * h))
+    };
+
+    // η: multiplicative elasticity. At the η = 1 boundary the model
+    // switches to the serial-free branch (Eq. 17), so the derivative is
+    // not defined there; report 0 — η cannot be increased further.
+    let d_eta = if params.eta >= 1.0 - 1e-9 {
+        0.0
+    } else {
+        let h_eta = REL_STEP;
+        let eta_hi = (params.eta * (1.0 + h_eta)).min(1.0 - 1e-12);
+        let eta_lo = params.eta * (1.0 - h_eta);
+        let lo = AsymptoticParams { eta: eta_lo, ..*params };
+        let hi = AsymptoticParams { eta: eta_hi, ..*params };
+        let slo = eval(&lo)?;
+        let shi = eval(&hi)?;
+        (shi.ln() - slo.ln()) / (eta_hi.ln() - eta_lo.ln())
+    };
+
+    // α: pure multiplicative elasticity (skip when the workload is
+    // serial-free: α is then irrelevant by construction).
+    let d_alpha = if params.is_serial_free() || params.alpha == 0.0 {
+        0.0
+    } else {
+        elasticity(
+            AsymptoticParams { alpha: params.alpha * (1.0 - REL_STEP), ..*params },
+            AsymptoticParams { alpha: params.alpha * (1.0 + REL_STEP), ..*params },
+            REL_STEP,
+        )?
+    };
+
+    // δ: additive derivative of ln S.
+    let d_delta = if params.is_serial_free() {
+        0.0
+    } else {
+        let h = REL_STEP;
+        let lo = AsymptoticParams { delta: params.delta - h, ..*params };
+        let hi = AsymptoticParams { delta: params.delta + h, ..*params };
+        (eval(&hi)?.ln() - eval(&lo)?.ln()) / (2.0 * h)
+    };
+
+    // β: multiplicative elasticity; zero without induced workload.
+    let d_beta = if params.no_induced_workload() {
+        0.0
+    } else {
+        elasticity(
+            AsymptoticParams { beta: params.beta * (1.0 - REL_STEP), ..*params },
+            AsymptoticParams { beta: params.beta * (1.0 + REL_STEP), ..*params },
+            REL_STEP,
+        )?
+    };
+
+    // γ: additive derivative; zero without induced workload.
+    let d_gamma = if params.no_induced_workload() {
+        0.0
+    } else {
+        let h = REL_STEP;
+        let lo = AsymptoticParams { gamma: (params.gamma - h).max(0.0), ..*params };
+        let hi = AsymptoticParams { gamma: params.gamma + h, ..*params };
+        (eval(&hi)?.ln() - eval(&lo)?.ln()) / (hi.gamma - lo.gamma)
+    };
+
+    Ok(Sensitivity {
+        n,
+        speedup: s0,
+        eta: d_eta,
+        alpha: d_alpha,
+        delta: d_delta,
+        beta: d_beta,
+        gamma: d_gamma,
+    })
+}
+
+/// Sensitivity profile over a range of scale-out degrees.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error.
+pub fn sensitivity_profile(
+    params: &AsymptoticParams,
+    ns: impl IntoIterator<Item = u32>,
+) -> Result<Vec<Sensitivity>, ModelError> {
+    ns.into_iter().map(|n| sensitivity(params, f64::from(n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gustafson_speedup_is_eta_dominated() {
+        let p = AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0).unwrap();
+        let s = sensitivity(&p, 100.0).unwrap();
+        assert_eq!(s.dominant(), "eta");
+        // Analytic check: S = ηn + 1 − η; dlnS/dlnη = ηn−η / S ≈ 0.989.
+        let expected = (0.9 * 100.0 - 0.9) / (0.9 * 100.0 + 0.1);
+        assert!((s.eta - expected).abs() < 1e-3, "eta sens = {}", s.eta);
+        assert_eq!(s.beta, 0.0);
+        assert_eq!(s.gamma, 0.0);
+    }
+
+    #[test]
+    fn pathological_workload_is_gamma_dominated_at_scale() {
+        let p = AsymptoticParams::new(1.0, 1.0, 0.0, 0.0004, 2.0).unwrap();
+        let s = sensitivity(&p, 150.0).unwrap();
+        assert_eq!(s.dominant(), "gamma");
+        // γ sensitivity is negative: faster-growing overhead hurts.
+        assert!(s.gamma < 0.0);
+        assert!(s.beta < 0.0);
+    }
+
+    #[test]
+    fn amdahl_eta_sensitivity_grows_with_n() {
+        let p = AsymptoticParams::new(0.9, 1.0, 0.0, 0.0, 0.0).unwrap();
+        let small = sensitivity(&p, 4.0).unwrap();
+        let large = sensitivity(&p, 1000.0).unwrap();
+        assert!(large.eta.abs() > small.eta.abs());
+    }
+
+    #[test]
+    fn beta_elasticity_matches_closed_form() {
+        // η = 1: S = n/(1+βn^γ); dlnS/dlnβ = −βn^γ/(1+βn^γ).
+        let (beta, gamma, n) = (0.01, 1.0, 50.0);
+        let p = AsymptoticParams::new(1.0, 1.0, 0.0, beta, gamma).unwrap();
+        let s = sensitivity(&p, n).unwrap();
+        let q = beta * n.powf(gamma);
+        let expected = -q / (1.0 + q);
+        assert!((s.beta - expected).abs() < 1e-4, "beta sens = {}", s.beta);
+    }
+
+    #[test]
+    fn delta_sensitivity_positive_for_fixed_time() {
+        // Faster external-vs-internal scaling always helps.
+        let p = AsymptoticParams::new(0.8, 1.0, 0.5, 0.0, 0.0).unwrap();
+        let s = sensitivity(&p, 64.0).unwrap();
+        assert!(s.delta > 0.0);
+    }
+
+    #[test]
+    fn profile_is_dense() {
+        let p = AsymptoticParams::new(0.9, 1.0, 1.0, 0.001, 2.0).unwrap();
+        let prof = sensitivity_profile(&p, [2, 8, 32, 128]).unwrap();
+        assert_eq!(prof.len(), 4);
+        assert!(prof.windows(2).all(|w| w[1].n > w[0].n));
+    }
+
+    #[test]
+    fn rejects_invalid_n() {
+        let p = AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0).unwrap();
+        assert!(sensitivity(&p, 0.5).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! The statistic (stochastic) IPSO model (paper Eqs. 7–8 and 18).
+//!
+//! The deterministic model assumes every parallel task takes exactly the
+//! same time. In practice task times are random — stragglers, queueing —
+//! and barrier synchronization makes the split phase as slow as the
+//! *slowest* task, so the speedup denominator carries `E[max_i Tp,i(n)]`
+//! rather than the mean task time (paper Eq. 8):
+//!
+//! ```text
+//!                    η·EX(n) + (1−η)·IN(n)
+//! S(n) = ─────────────────────────────────────────────────────────────
+//!        E[max Tp,i(n)]/(E[Tp,1(1)]+E[Ts(1)]) + (1−η)·IN(n) + η·EX(n)·q(n)/n
+//! ```
+//!
+//! [`TaskTimeDistribution`] provides the task-time models (including
+//! heavy-tailed stragglers) with analytic `E[max]` where available and
+//! seeded Monte-Carlo otherwise.
+
+use rand::Rng;
+
+use crate::error::check_scale_out;
+use crate::factors::ScalingFactor;
+use crate::ModelError;
+
+/// Distribution of a single parallel task's processing time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskTimeDistribution {
+    /// Every task takes exactly `value` seconds — reduces the statistic
+    /// model to the deterministic one.
+    Deterministic {
+        /// The fixed task time (s).
+        value: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (s).
+        lo: f64,
+        /// Upper bound (s).
+        hi: f64,
+    },
+    /// Exponential with the given mean — a classic model for task times
+    /// with occasional stragglers.
+    Exponential {
+        /// Mean task time (s).
+        mean: f64,
+    },
+    /// `shift + Exponential(mean)`: a minimum service time plus an
+    /// exponential tail.
+    ShiftedExponential {
+        /// Minimum task time (s).
+        shift: f64,
+        /// Mean of the exponential tail (s).
+        mean: f64,
+    },
+    /// Pareto with scale `x_m` and shape `a > 1` — a heavy-tailed
+    /// straggler model ([Zaharia et al., OSDI '08]).
+    Pareto {
+        /// Scale (minimum value, s).
+        scale: f64,
+        /// Tail index; must exceed 1 for a finite mean.
+        shape: f64,
+    },
+}
+
+impl TaskTimeDistribution {
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            TaskTimeDistribution::Deterministic { value } => value,
+            TaskTimeDistribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            TaskTimeDistribution::Exponential { mean } => mean,
+            TaskTimeDistribution::ShiftedExponential { shift, mean } => shift + mean,
+            TaskTimeDistribution::Pareto { scale, shape } => scale * shape / (shape - 1.0),
+        }
+    }
+
+    /// Draws one sample using the provided RNG.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            TaskTimeDistribution::Deterministic { value } => value,
+            TaskTimeDistribution::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            TaskTimeDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+            TaskTimeDistribution::ShiftedExponential { shift, mean } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                shift - mean * u.ln()
+            }
+            TaskTimeDistribution::Pareto { scale, shape } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                scale / u.powf(1.0 / shape)
+            }
+        }
+    }
+
+    /// Expected maximum of `n` i.i.d. draws, `E[max_{i≤n} X_i]` — fully
+    /// analytic: deterministic (value), uniform (`lo + (hi−lo)·n/(n+1)`),
+    /// (shifted) exponential (`mean·H_n`) and Pareto
+    /// (`scale·n·B(n, 1−1/shape)` via the Lanczos log-gamma in
+    /// [`ipso_sim::special`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0`.
+    pub fn expected_max(&self, n: u32) -> Result<f64, ModelError> {
+        if n == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let nf = n as f64;
+        Ok(match *self {
+            TaskTimeDistribution::Deterministic { value } => value,
+            TaskTimeDistribution::Uniform { lo, hi } => lo + (hi - lo) * nf / (nf + 1.0),
+            TaskTimeDistribution::Exponential { mean } => mean * harmonic(n),
+            TaskTimeDistribution::ShiftedExponential { shift, mean } => {
+                shift + mean * harmonic(n)
+            }
+            TaskTimeDistribution::Pareto { scale, shape } => {
+                ipso_sim::pareto_expected_max(scale, shape, n)
+            }
+        })
+    }
+
+    /// Validates distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFactor`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let ok = match *self {
+            TaskTimeDistribution::Deterministic { value } => value.is_finite() && value > 0.0,
+            TaskTimeDistribution::Uniform { lo, hi } => {
+                lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi
+            }
+            TaskTimeDistribution::Exponential { mean } => mean.is_finite() && mean > 0.0,
+            TaskTimeDistribution::ShiftedExponential { shift, mean } => {
+                shift.is_finite() && mean.is_finite() && shift >= 0.0 && mean > 0.0
+            }
+            TaskTimeDistribution::Pareto { scale, shape } => {
+                scale.is_finite() && shape.is_finite() && scale > 0.0 && shape > 1.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ModelError::InvalidFactor {
+                factor: "task-time distribution",
+                reason: "parameters out of range",
+            })
+        }
+    }
+}
+
+fn harmonic(n: u32) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+/// The statistic IPSO model.
+///
+/// Task times in the split phase are `Tp,i(n) ~ base_task` scaled so that
+/// the *mean per-task* workload matches `Wp(1)·EX(n)/n`; the merge time is
+/// deterministic at `Ws(1)·IN(n)`.
+///
+/// # Example
+///
+/// ```
+/// use ipso::stochastic::{StochasticIpso, TaskTimeDistribution};
+/// use ipso::ScalingFactor;
+///
+/// # fn main() -> Result<(), ipso::ModelError> {
+/// let model = StochasticIpso::new(
+///     TaskTimeDistribution::Exponential { mean: 10.0 }, // Tp,1(1)
+///     2.0,                                              // E[Ts(1)]
+///     ScalingFactor::linear(),                          // EX(n) = n
+///     ScalingFactor::one(),                             // IN(n) = 1
+///     ScalingFactor::zero(),                            // q(n) = 0
+/// )?;
+/// // Stragglers make the stochastic speedup lower than Gustafson's.
+/// let s = model.speedup(16)?;
+/// let gustafson = ipso::classic::gustafson(10.0 / 12.0, 16.0)?;
+/// assert!(s < gustafson);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticIpso {
+    base_task: TaskTimeDistribution,
+    ws1: f64,
+    external: ScalingFactor,
+    internal: ScalingFactor,
+    induced: ScalingFactor,
+}
+
+impl StochasticIpso {
+    /// Creates a statistic model.
+    ///
+    /// * `base_task` — distribution of `Tp,1(1)`, the single-task time at
+    ///   `n = 1`;
+    /// * `ws1` — mean serial merge time at `n = 1` (`E[Ts(1)]`, may be 0);
+    /// * `external`, `internal`, `induced` — the scaling factors
+    ///   (normalized internally like the deterministic builder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution and factor validation errors.
+    pub fn new(
+        base_task: TaskTimeDistribution,
+        ws1: f64,
+        external: ScalingFactor,
+        internal: ScalingFactor,
+        induced: ScalingFactor,
+    ) -> Result<Self, ModelError> {
+        base_task.validate()?;
+        if !ws1.is_finite() || ws1 < 0.0 {
+            return Err(ModelError::NonFinite("serial merge time Ws(1)"));
+        }
+        let external = external.normalized()?;
+        let internal = if ws1 > 0.0 { internal.normalized()? } else { internal };
+        let q1 = induced.eval(1.0);
+        if q1.abs() > 1e-6 {
+            return Err(ModelError::BoundaryCondition { factor: "q", expected: 0.0, actual: q1 });
+        }
+        Ok(StochasticIpso { base_task, ws1, external, internal, induced })
+    }
+
+    /// Parallelizable fraction `η` at `n = 1` (paper Eq. 9).
+    pub fn eta(&self) -> f64 {
+        let wp1 = self.base_task.mean();
+        wp1 / (wp1 + self.ws1)
+    }
+
+    /// Mean of the slowest of the `n` parallel tasks,
+    /// `E[max_i Tp,i(n)]`, where each task's mean equals
+    /// `Wp(1)·EX(n)/n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TaskTimeDistribution::expected_max`] errors.
+    pub fn expected_max_task_time(&self, n: u32) -> Result<f64, ModelError> {
+        check_scale_out(n.max(1) as f64)?;
+        // Per-task mean workload scales with EX(n)/n; the distribution's
+        // *shape* is preserved, only its scale changes.
+        let scale = self.external.eval(n as f64) / n as f64;
+        Ok(self.base_task.expected_max(n)? * scale)
+    }
+
+    /// The statistic speedup `S(n)` (paper Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0` and propagates
+    /// evaluation errors.
+    pub fn speedup(&self, n: u32) -> Result<f64, ModelError> {
+        if n == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let nf = n as f64;
+        let wp1 = self.base_task.mean();
+        let w1 = wp1 + self.ws1;
+        let eta = self.eta();
+        let ex = self.external.eval(nf);
+        let inn = self.internal.eval(nf);
+        let q = self.induced.eval(nf);
+
+        let numerator = eta * ex + (1.0 - eta) * inn;
+        let denominator =
+            self.expected_max_task_time(n)? / w1 + (1.0 - eta) * inn + eta * ex * q / nf;
+        if denominator <= 0.0 || !denominator.is_finite() {
+            return Err(ModelError::NonFinite("stochastic speedup denominator"));
+        }
+        Ok(numerator / denominator)
+    }
+
+    /// Speedup over a range of scale-out degrees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    pub fn speedup_curve(
+        &self,
+        ns: impl IntoIterator<Item = u32>,
+    ) -> Result<Vec<(u32, f64)>, ModelError> {
+        ns.into_iter().map(|n| Ok((n, self.speedup(n)?))).collect()
+    }
+}
+
+/// The fixed-size stochastic speedup of the Collaborative Filtering case
+/// (paper Eq. 18): `S(n) = E[Tp,1(1)] / (E[max Tp,i(n)] + Wo(n))`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NonFinite`] when the denominator is non-positive
+/// or any argument is non-finite.
+pub fn fixed_size_speedup(tp1: f64, e_max: f64, wo: f64) -> Result<f64, ModelError> {
+    if !tp1.is_finite() || !e_max.is_finite() || !wo.is_finite() {
+        return Err(ModelError::NonFinite("fixed-size speedup input"));
+    }
+    let den = e_max + wo;
+    if den <= 0.0 {
+        return Err(ModelError::NonFinite("fixed-size speedup denominator"));
+    }
+    Ok(tp1 / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_are_correct() {
+        assert_eq!(TaskTimeDistribution::Deterministic { value: 3.0 }.mean(), 3.0);
+        assert_eq!(TaskTimeDistribution::Uniform { lo: 2.0, hi: 4.0 }.mean(), 3.0);
+        assert_eq!(TaskTimeDistribution::Exponential { mean: 5.0 }.mean(), 5.0);
+        assert_eq!(
+            TaskTimeDistribution::ShiftedExponential { shift: 1.0, mean: 2.0 }.mean(),
+            3.0
+        );
+        let p = TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.0 };
+        assert_eq!(p.mean(), 2.0);
+    }
+
+    #[test]
+    fn expected_max_analytic_forms() {
+        let d = TaskTimeDistribution::Deterministic { value: 2.0 };
+        assert_eq!(d.expected_max(100).unwrap(), 2.0);
+        let u = TaskTimeDistribution::Uniform { lo: 0.0, hi: 1.0 };
+        assert!((u.expected_max(3).unwrap() - 0.75).abs() < 1e-12);
+        let e = TaskTimeDistribution::Exponential { mean: 1.0 };
+        assert!((e.expected_max(2).unwrap() - 1.5).abs() < 1e-12);
+        assert!((e.expected_max(4).unwrap() - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_max_is_monotone_in_n() {
+        for dist in [
+            TaskTimeDistribution::Uniform { lo: 1.0, hi: 2.0 },
+            TaskTimeDistribution::Exponential { mean: 1.0 },
+            TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.5 },
+        ] {
+            let mut prev = 0.0;
+            for n in [1, 2, 4, 8, 16] {
+                let m = dist.expected_max(n).unwrap();
+                assert!(m >= prev, "{dist:?} at n = {n}");
+                prev = m;
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_expected_max_is_exact() {
+        // E[max of 1] = the mean, now to machine precision (analytic).
+        let p = TaskTimeDistribution::Pareto { scale: 1.0, shape: 3.0 };
+        let e1 = p.expected_max(1).unwrap();
+        assert!((e1 - p.mean()).abs() < 1e-10, "E[max of 1] = {e1}");
+        // E[max of 2] for shape 2: 2·B(2, 0.5) = 2·(Γ(2)Γ(0.5)/Γ(2.5)) = 8/3.
+        let p2 = TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.0 };
+        assert!((p2.expected_max(2).unwrap() - 8.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_model_matches_deterministic_ipso() {
+        let det = StochasticIpso::new(
+            TaskTimeDistribution::Deterministic { value: 9.0 },
+            1.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .unwrap();
+        let eta = 0.9;
+        for n in [1u32, 4, 16, 64] {
+            let expected = crate::classic::gustafson(eta, n as f64).unwrap();
+            let got = det.speedup(n).unwrap();
+            assert!((got - expected).abs() < 1e-9, "n = {n}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn stragglers_reduce_speedup() {
+        let exp = StochasticIpso::new(
+            TaskTimeDistribution::Exponential { mean: 9.0 },
+            1.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .unwrap();
+        let det = StochasticIpso::new(
+            TaskTimeDistribution::Deterministic { value: 9.0 },
+            1.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .unwrap();
+        for n in [2u32, 8, 32, 128] {
+            assert!(exp.speedup(n).unwrap() < det.speedup(n).unwrap());
+        }
+    }
+
+    #[test]
+    fn straggler_speedup_still_unbounded_for_fixed_time() {
+        // E[max] for exponential grows like ln n, so the fixed-time
+        // speedup remains unbounded but sublinear.
+        let exp = StochasticIpso::new(
+            TaskTimeDistribution::Exponential { mean: 10.0 },
+            0.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .unwrap();
+        let s64 = exp.speedup(64).unwrap();
+        let s256 = exp.speedup(256).unwrap();
+        assert!(s256 > s64);
+        assert!(s256 < 256.0);
+    }
+
+    #[test]
+    fn speedup_at_one_is_unity_without_overhead() {
+        let m = StochasticIpso::new(
+            TaskTimeDistribution::Uniform { lo: 5.0, hi: 15.0 },
+            3.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .unwrap();
+        // At n = 1, E[max of 1] = mean, so S(1) = 1 exactly.
+        assert!((m.speedup(1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq18_fixed_size_speedup() {
+        // The paper's CF numbers: E[Tp,1(1)] = 1602.5, and at n = 10
+        // E[max] = 209.0, Wo = 5.5 → S ≈ 7.47.
+        let s = fixed_size_speedup(1602.5, 209.0, 5.5).unwrap();
+        assert!((s - 1602.5 / 214.5).abs() < 1e-12);
+        assert!(fixed_size_speedup(1.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_distributions() {
+        assert!(TaskTimeDistribution::Deterministic { value: 0.0 }.validate().is_err());
+        assert!(TaskTimeDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
+        assert!(TaskTimeDistribution::Pareto { scale: 1.0, shape: 1.0 }.validate().is_err());
+        assert!(TaskTimeDistribution::Exponential { mean: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn induced_overhead_creates_peak_in_stochastic_model() {
+        let m = StochasticIpso::new(
+            TaskTimeDistribution::Deterministic { value: 10.0 },
+            0.0,
+            ScalingFactor::Constant(1.0), // fixed-size
+            ScalingFactor::one(),
+            ScalingFactor::induced(0.002, 2.0),
+        )
+        .unwrap();
+        let curve = m.speedup_curve([1, 10, 30, 60, 90, 150]).unwrap();
+        let peak = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert!(peak.0 > 1 && peak.0 < 150, "peak at {:?}", peak);
+        assert!(curve.last().unwrap().1 < peak.1);
+    }
+}

@@ -1,0 +1,417 @@
+//! The IPSO solution-space taxonomy (paper Figs. 2–3).
+//!
+//! For each workload type the paper identifies four qualitative speedup
+//! behaviours as `n → ∞`:
+//!
+//! | | fixed-time (`EX(n) = n`) | fixed-size (`EX(n) = 1`) |
+//! |---|---|---|
+//! | **I** | Gustafson-like linear, unbounded | linear `S(n) = n` (η = 1, q = 0) |
+//! | **II** | sublinear, unbounded | sublinear, unbounded (η = 1, γ < 1) |
+//! | **III** | *pathological*: monotone but upper-bounded | Amdahl-like upper-bounded |
+//! | **IV** | *pathological*: peaks, falls, → 0 (γ > 1) | same |
+//!
+//! Types III split into sub-types with distinct bounds depending on whether
+//! the bound stems from in-proportion scaling (`III·,1`) or from linear
+//! scale-out-induced scaling (`III·,2`).
+
+use crate::asymptotic::AsymptoticParams;
+use crate::ModelError;
+
+/// Tolerance for deciding whether an exponent equals an integral boundary
+/// (δ = 0, δ = 1, γ = 0, γ = 1).
+const EXP_EPS: f64 = 1e-9;
+
+/// Which external-scaling scenario a workload follows (paper Section IV).
+///
+/// Fixed-time corresponds to the resource-constrained case (`EX(n) = n`,
+/// Gustafson); fixed-size to the resource-abundant case (`EX(n) = 1`,
+/// Amdahl). Memory-bounded workloads behave as fixed-time for the
+/// data-intensive applications in the paper (`g(n) ≈ n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadType {
+    /// `EX(n) = n`: the workload grows linearly with the scale-out degree.
+    FixedTime,
+    /// `EX(n) = 1`: the total workload is constant.
+    FixedSize,
+}
+
+impl std::fmt::Display for WorkloadType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadType::FixedTime => write!(f, "fixed-time"),
+            WorkloadType::FixedSize => write!(f, "fixed-size"),
+        }
+    }
+}
+
+/// The four fixed-time scaling behaviours of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixedTimeClass {
+    /// `It` — Gustafson-like unbounded linear scaling.
+    It,
+    /// `IIt` — unbounded but sublinear scaling.
+    IIt,
+    /// `IIIt,1` — pathological bound caused by in-proportion scaling
+    /// (δ = 0, γ < 1): `S → (ηα + 1 − η)/(1 − η)`.
+    IIIt1,
+    /// `IIIt,2` — pathological bound caused by linear scale-out-induced
+    /// scaling (γ = 1).
+    IIIt2,
+    /// `IVt` — pathological peak-and-fall (γ > 1).
+    IVt,
+}
+
+/// The four fixed-size scaling behaviours of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixedSizeClass {
+    /// `Is` — perfect linear scaling `S(n) = n` (η = 1, no overhead).
+    Is,
+    /// `IIs` — unbounded sublinear scaling (η = 1, γ < 1).
+    IIs,
+    /// `IIIs,1` — Amdahl-like bound `(ηα + 1 − η)/(1 − η)` (γ < 1).
+    /// Amdahl's law is the special case γ = 0, α = 1.
+    IIIs1,
+    /// `IIIs,2` — bound `(ηα + 1 − η)/(ηαβ + 1 − η)` (γ = 1).
+    IIIs2,
+    /// `IVs` — pathological peak-and-fall (γ > 1).
+    IVs,
+}
+
+/// A classified scaling behaviour, for either workload type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalingClass {
+    /// A fixed-time behaviour from Fig. 2.
+    FixedTime(FixedTimeClass),
+    /// A fixed-size behaviour from Fig. 3.
+    FixedSize(FixedSizeClass),
+}
+
+impl std::fmt::Display for ScalingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ScalingClass::FixedTime(FixedTimeClass::It) => "It (Gustafson-like linear)",
+            ScalingClass::FixedTime(FixedTimeClass::IIt) => "IIt (unbounded sublinear)",
+            ScalingClass::FixedTime(FixedTimeClass::IIIt1) => {
+                "IIIt,1 (bounded by in-proportion scaling)"
+            }
+            ScalingClass::FixedTime(FixedTimeClass::IIIt2) => {
+                "IIIt,2 (bounded by linear scale-out-induced scaling)"
+            }
+            ScalingClass::FixedTime(FixedTimeClass::IVt) => "IVt (pathological peak-and-fall)",
+            ScalingClass::FixedSize(FixedSizeClass::Is) => "Is (perfect linear)",
+            ScalingClass::FixedSize(FixedSizeClass::IIs) => "IIs (unbounded sublinear)",
+            ScalingClass::FixedSize(FixedSizeClass::IIIs1) => "IIIs,1 (Amdahl-like bounded)",
+            ScalingClass::FixedSize(FixedSizeClass::IIIs2) => {
+                "IIIs,2 (bounded by linear scale-out-induced scaling)"
+            }
+            ScalingClass::FixedSize(FixedSizeClass::IVs) => "IVs (pathological peak-and-fall)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl ScalingClass {
+    /// Whether the speedup grows without bound.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(
+            self,
+            ScalingClass::FixedTime(FixedTimeClass::It)
+                | ScalingClass::FixedTime(FixedTimeClass::IIt)
+                | ScalingClass::FixedSize(FixedSizeClass::Is)
+                | ScalingClass::FixedSize(FixedSizeClass::IIs)
+        )
+    }
+
+    /// Whether the paper calls the behaviour pathological. For fixed-time
+    /// workloads any bounded behaviour is pathological (Gustafson promises
+    /// unbounded speedup); for fixed-size only the peak-and-fall type is
+    /// (Amdahl-like bounds have been expected since 1967).
+    pub fn is_pathological(&self) -> bool {
+        matches!(
+            self,
+            ScalingClass::FixedTime(FixedTimeClass::IIIt1)
+                | ScalingClass::FixedTime(FixedTimeClass::IIIt2)
+                | ScalingClass::FixedTime(FixedTimeClass::IVt)
+                | ScalingClass::FixedSize(FixedSizeClass::IVs)
+        )
+    }
+
+    /// Whether the speedup eventually peaks and falls (type IV).
+    pub fn peaks(&self) -> bool {
+        matches!(
+            self,
+            ScalingClass::FixedTime(FixedTimeClass::IVt)
+                | ScalingClass::FixedSize(FixedSizeClass::IVs)
+        )
+    }
+}
+
+/// Classifies an asymptotic parameter set under the given workload type and
+/// returns the class together with its speedup bound (`None` when
+/// unbounded, `Some(0.0)` for the decaying type IV).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidFactor`] when δ is outside the admissible
+/// range for the workload type (`0 ≤ δ ≤ 1` for fixed-time, `δ = 0` for
+/// fixed-size — see the paper's Section IV arguments).
+pub fn classify(
+    params: &AsymptoticParams,
+    workload: WorkloadType,
+) -> Result<(ScalingClass, Option<f64>), ModelError> {
+    match workload {
+        WorkloadType::FixedTime => classify_fixed_time(params),
+        WorkloadType::FixedSize => classify_fixed_size(params),
+    }
+}
+
+fn classify_fixed_time(
+    p: &AsymptoticParams,
+) -> Result<(ScalingClass, Option<f64>), ModelError> {
+    if !(-EXP_EPS..=1.0 + EXP_EPS).contains(&p.delta) {
+        return Err(ModelError::InvalidFactor {
+            factor: "EX",
+            reason: "fixed-time workloads require 0 <= delta <= 1",
+        });
+    }
+    let eta = p.eta;
+    let serial_free = p.is_serial_free();
+    let no_q = p.no_induced_workload();
+    let gamma = if no_q { 0.0 } else { p.gamma };
+    let delta_is_zero = p.delta.abs() <= EXP_EPS;
+    let delta_is_one = (p.delta - 1.0).abs() <= EXP_EPS;
+
+    let class = if gamma > 1.0 + EXP_EPS {
+        FixedTimeClass::IVt
+    } else if (gamma - 1.0).abs() <= EXP_EPS {
+        // Linear induced scaling bounds the speedup.
+        FixedTimeClass::IIIt2
+    } else if no_q {
+        if serial_free || delta_is_one {
+            FixedTimeClass::It
+        } else if delta_is_zero {
+            FixedTimeClass::IIIt1
+        } else {
+            FixedTimeClass::IIt
+        }
+    } else {
+        // 0 < γ < 1.
+        if serial_free || !delta_is_zero {
+            FixedTimeClass::IIt
+        } else {
+            FixedTimeClass::IIIt1
+        }
+    };
+
+    let bound = match class {
+        FixedTimeClass::It | FixedTimeClass::IIt => None,
+        FixedTimeClass::IIIt1 => Some((eta * p.alpha + (1.0 - eta)) / (1.0 - eta)),
+        FixedTimeClass::IIIt2 => {
+            if serial_free {
+                Some(1.0 / p.beta)
+            } else if delta_is_zero {
+                Some((eta * p.alpha + (1.0 - eta)) / (eta * p.alpha * p.beta + (1.0 - eta)))
+            } else {
+                // 0 < δ ≤ 1 with γ = 1: numerator and denominator share the
+                // order n^δ; bound = 1/β (Fig. 2 annotation).
+                Some(1.0 / p.beta)
+            }
+        }
+        FixedTimeClass::IVt => Some(0.0),
+    };
+    Ok((ScalingClass::FixedTime(class), bound))
+}
+
+fn classify_fixed_size(
+    p: &AsymptoticParams,
+) -> Result<(ScalingClass, Option<f64>), ModelError> {
+    if p.delta.abs() > EXP_EPS {
+        return Err(ModelError::InvalidFactor {
+            factor: "EX",
+            reason: "fixed-size workloads require delta = 0 (IN(n) = 1)",
+        });
+    }
+    let eta = p.eta;
+    let serial_free = p.is_serial_free();
+    let no_q = p.no_induced_workload();
+    let gamma = if no_q { 0.0 } else { p.gamma };
+
+    let class = if gamma > 1.0 + EXP_EPS {
+        FixedSizeClass::IVs
+    } else if (gamma - 1.0).abs() <= EXP_EPS {
+        FixedSizeClass::IIIs2
+    } else if serial_free {
+        if no_q {
+            FixedSizeClass::Is
+        } else {
+            FixedSizeClass::IIs
+        }
+    } else {
+        FixedSizeClass::IIIs1
+    };
+
+    let bound = match class {
+        FixedSizeClass::Is | FixedSizeClass::IIs => None,
+        FixedSizeClass::IIIs1 => Some((eta * p.alpha + (1.0 - eta)) / (1.0 - eta)),
+        FixedSizeClass::IIIs2 => {
+            if serial_free {
+                Some(1.0 / p.beta)
+            } else {
+                Some((eta * p.alpha + (1.0 - eta)) / (eta * p.alpha * p.beta + (1.0 - eta)))
+            }
+        }
+        FixedSizeClass::IVs => Some(0.0),
+    };
+    Ok((ScalingClass::FixedSize(class), bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(eta: f64, alpha: f64, delta: f64, beta: f64, gamma: f64) -> AsymptoticParams {
+        AsymptoticParams::new(eta, alpha, delta, beta, gamma).unwrap()
+    }
+
+    #[test]
+    fn gustafson_is_type_it() {
+        let (class, bound) = classify(&pt(0.8, 1.0, 1.0, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::It));
+        assert_eq!(bound, None);
+        assert!(class.is_unbounded());
+        assert!(!class.is_pathological());
+    }
+
+    #[test]
+    fn serial_free_without_overhead_is_it() {
+        let (class, _) = classify(&pt(1.0, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::It));
+    }
+
+    #[test]
+    fn sublinear_induced_overhead_is_iit() {
+        let (class, bound) =
+            classify(&pt(0.9, 1.0, 1.0, 0.1, 0.5), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::IIt));
+        assert_eq!(bound, None);
+    }
+
+    #[test]
+    fn partial_in_proportion_scaling_is_iit() {
+        let (class, _) = classify(&pt(0.9, 1.0, 0.5, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::IIt));
+    }
+
+    #[test]
+    fn full_in_proportion_scaling_is_iiit1_with_bound() {
+        // Sort/TeraSort in the paper: δ ≈ 0, small γ.
+        let (eta, alpha) = (0.8, 4.3);
+        let (class, bound) =
+            classify(&pt(eta, alpha, 0.0, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::IIIt1));
+        let expected = (eta * alpha + (1.0 - eta)) / (1.0 - eta);
+        assert!((bound.unwrap() - expected).abs() < 1e-12);
+        assert!(class.is_pathological());
+    }
+
+    #[test]
+    fn linear_induced_overhead_is_iiit2() {
+        let (class, bound) =
+            classify(&pt(1.0, 1.0, 0.0, 0.05, 1.0), WorkloadType::FixedTime).unwrap();
+        assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::IIIt2));
+        assert!((bound.unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iiit2_bound_with_serial_and_delta_zero() {
+        let (eta, alpha, beta) = (0.7, 2.0, 0.1);
+        let (_, bound) =
+            classify(&pt(eta, alpha, 0.0, beta, 1.0), WorkloadType::FixedTime).unwrap();
+        let expected = (eta * alpha + 0.3) / (eta * alpha * beta + 0.3);
+        assert!((bound.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_induced_overhead_is_ivt_regardless() {
+        for delta in [0.0, 0.5, 1.0] {
+            let (class, bound) =
+                classify(&pt(0.9, 1.0, delta, 0.01, 2.0), WorkloadType::FixedTime).unwrap();
+            assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::IVt));
+            assert_eq!(bound, Some(0.0));
+            assert!(class.peaks());
+        }
+    }
+
+    #[test]
+    fn fixed_size_perfect_linear_is_special() {
+        let (class, bound) = classify(&pt(1.0, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
+        assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::Is));
+        assert_eq!(bound, None);
+    }
+
+    #[test]
+    fn fixed_size_sublinear_overhead_is_iis() {
+        let (class, _) = classify(&pt(1.0, 1.0, 0.0, 0.1, 0.5), WorkloadType::FixedSize).unwrap();
+        assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::IIs));
+        assert!(!class.is_pathological());
+    }
+
+    #[test]
+    fn amdahl_is_iiis1() {
+        let (class, bound) = classify(&pt(0.9, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
+        assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::IIIs1));
+        assert!((bound.unwrap() - 10.0).abs() < 1e-12);
+        // Amdahl-like bounds are expected, not pathological.
+        assert!(!class.is_pathological());
+    }
+
+    #[test]
+    fn collaborative_filtering_is_ivs() {
+        // The paper's CF case: η = 1, γ = 2.
+        let (class, bound) = classify(&pt(1.0, 1.0, 0.0, 0.006, 2.0), WorkloadType::FixedSize).unwrap();
+        assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::IVs));
+        assert_eq!(bound, Some(0.0));
+        assert!(class.is_pathological());
+    }
+
+    #[test]
+    fn fixed_time_rejects_delta_out_of_range() {
+        assert!(classify(&pt(0.9, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedTime).is_ok());
+        let p = AsymptoticParams::new(0.9, 1.0, 1.5, 0.0, 0.0).unwrap();
+        assert!(classify(&p, WorkloadType::FixedTime).is_err());
+    }
+
+    #[test]
+    fn fixed_size_rejects_nonzero_delta() {
+        let p = AsymptoticParams::new(0.9, 1.0, 0.5, 0.0, 0.0).unwrap();
+        assert!(classify(&p, WorkloadType::FixedSize).is_err());
+    }
+
+    #[test]
+    fn bounds_match_asymptotic_limits() {
+        // The classifier's bounds must agree with AsymptoticParams::limit.
+        let cases = [
+            pt(0.8, 4.3, 0.0, 0.0, 0.0),
+            pt(0.7, 2.0, 0.0, 0.1, 1.0),
+            pt(1.0, 1.0, 0.0, 0.05, 1.0),
+            pt(0.9, 1.0, 1.0, 0.01, 2.0),
+        ];
+        for p in cases {
+            let (_, bound) = classify(&p, WorkloadType::FixedTime).unwrap();
+            match (bound, p.limit()) {
+                (Some(b), Some(l)) => assert!((b - l).abs() < 1e-9, "bound {b} vs limit {l}"),
+                (None, None) => {}
+                other => panic!("bound/limit disagreement: {other:?} for {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(
+            ScalingClass::FixedTime(FixedTimeClass::IVt).to_string(),
+            "IVt (pathological peak-and-fall)"
+        );
+        assert_eq!(WorkloadType::FixedTime.to_string(), "fixed-time");
+    }
+}

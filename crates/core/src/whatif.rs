@@ -1,0 +1,290 @@
+//! What-if scenario analysis on fitted models.
+//!
+//! The ablation experiments answer "what would fixing mechanism X buy?"
+//! empirically, by re-running the simulator. This module answers the same
+//! question *analytically* from a fitted [`IpsoModel`]: apply a
+//! hypothetical intervention to the scaling factors and quantify the
+//! speedup change — the decision-support step between diagnosis
+//! ("you are IIIt,1 because of the merge") and engineering ("is fixing
+//! the merge worth it?").
+
+use crate::factors::ScalingFactor;
+use crate::model::IpsoModel;
+use crate::ModelError;
+
+/// A hypothetical intervention on a fitted model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Scale the growing part of the internal factor by `factor`
+    /// (e.g. 0.5 = "make the merge grow half as fast": parallelize half
+    /// of the reduction). The constant part — `IN(1) = 1` — is preserved.
+    ScaleInternalGrowth {
+        /// Multiplier on the growth component, in `[0, 1]` for
+        /// improvements.
+        factor: f64,
+    },
+    /// Replace the internal scaling with `IN(n) = 1` entirely — a perfect
+    /// parallel reduction tree (the classic-law assumption).
+    EliminateInternalScaling,
+    /// Scale the induced factor by `factor` (e.g. 0.1 = "make dispatch
+    /// 10× cheaper").
+    ScaleInduced {
+        /// Multiplier on `q(n)`.
+        factor: f64,
+    },
+    /// Reduce the induced factor's growth *order* by `delta_gamma`
+    /// (e.g. 1.0 turns a quadratic broadcast into a linear tree one).
+    /// Applies to power-shaped induced factors; others are unchanged.
+    ReduceInducedOrder {
+        /// Amount subtracted from the exponent (clamped at 0).
+        delta_gamma: f64,
+    },
+    /// Remove the induced workload entirely.
+    EliminateInduced,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::ScaleInternalGrowth { factor } => {
+                write!(f, "scale internal growth by {factor}")
+            }
+            Scenario::EliminateInternalScaling => write!(f, "eliminate internal scaling"),
+            Scenario::ScaleInduced { factor } => write!(f, "scale induced factor by {factor}"),
+            Scenario::ReduceInducedOrder { delta_gamma } => {
+                write!(f, "reduce induced order by {delta_gamma}")
+            }
+            Scenario::EliminateInduced => write!(f, "eliminate induced workload"),
+        }
+    }
+}
+
+/// The outcome of applying one scenario at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The scenario applied.
+    pub scenario: Scenario,
+    /// Operating scale-out degree.
+    pub n: f64,
+    /// Speedup before the intervention.
+    pub baseline: f64,
+    /// Speedup after the intervention.
+    pub improved: f64,
+    /// The modified model, for further analysis.
+    pub model: IpsoModel,
+}
+
+impl ScenarioOutcome {
+    /// Relative gain, `improved/baseline − 1`.
+    pub fn gain(&self) -> f64 {
+        self.improved / self.baseline - 1.0
+    }
+}
+
+/// Applies a scenario to a model, returning the modified model.
+///
+/// # Errors
+///
+/// Propagates model reconstruction errors and rejects negative scale
+/// factors.
+pub fn apply(model: &IpsoModel, scenario: &Scenario) -> Result<IpsoModel, ModelError> {
+    let (internal, induced) = match scenario {
+        Scenario::ScaleInternalGrowth { factor } => {
+            if !factor.is_finite() || *factor < 0.0 {
+                return Err(ModelError::NonFinite("scenario scale factor"));
+            }
+            (scale_growth(model.internal(), *factor), model.induced().clone())
+        }
+        Scenario::EliminateInternalScaling => (ScalingFactor::one(), model.induced().clone()),
+        Scenario::ScaleInduced { factor } => {
+            if !factor.is_finite() || *factor < 0.0 {
+                return Err(ModelError::NonFinite("scenario scale factor"));
+            }
+            (model.internal().clone(), model.induced().scaled(*factor))
+        }
+        Scenario::ReduceInducedOrder { delta_gamma } => {
+            if !delta_gamma.is_finite() || *delta_gamma < 0.0 {
+                return Err(ModelError::NonFinite("scenario order reduction"));
+            }
+            let reduced = match model.induced() {
+                ScalingFactor::ShiftedPower { coefficient, exponent } => {
+                    ScalingFactor::ShiftedPower {
+                        coefficient: *coefficient,
+                        exponent: (exponent - delta_gamma).max(0.0),
+                    }
+                }
+                ScalingFactor::Power { coefficient, exponent } => ScalingFactor::Power {
+                    coefficient: *coefficient,
+                    exponent: (exponent - delta_gamma).max(0.0),
+                },
+                other => other.clone(),
+            };
+            (model.internal().clone(), reduced)
+        }
+        Scenario::EliminateInduced => (model.internal().clone(), ScalingFactor::zero()),
+    };
+    IpsoModel::builder(model.eta())
+        .external(model.external().clone())
+        .internal(internal)
+        .induced(induced)
+        .build()
+}
+
+/// Scales the *growth* component of a factor while keeping `f(1) = 1`:
+/// `f'(n) = 1 + k·(f(n) − 1)`.
+fn scale_growth(factor: &ScalingFactor, k: f64) -> ScalingFactor {
+    match factor {
+        ScalingFactor::Constant(_) => factor.clone(),
+        ScalingFactor::Affine { slope, intercept } => {
+            // f(1) = slope + intercept; keep that point, scale the slope.
+            let at_one = slope + intercept;
+            ScalingFactor::Affine { slope: slope * k, intercept: at_one - slope * k }
+        }
+        other => {
+            // Generic fallback: tabulate 1 + k·(f(n) − 1) over a wide grid.
+            let points: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0]
+                .iter()
+                .map(|&n| {
+                    let at_one = other.eval(1.0);
+                    (n, 1.0 + k * (other.eval(n) / at_one.max(1e-300) - 1.0))
+                })
+                .collect();
+            ScalingFactor::Table(points)
+        }
+    }
+}
+
+/// Evaluates several scenarios at an operating point, sorted by gain
+/// (largest first) — "which fix buys the most?".
+///
+/// # Errors
+///
+/// Propagates application and evaluation errors.
+pub fn rank_scenarios(
+    model: &IpsoModel,
+    scenarios: &[Scenario],
+    n: f64,
+) -> Result<Vec<ScenarioOutcome>, ModelError> {
+    let baseline = model.speedup(n)?;
+    let mut out = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let improved_model = apply(model, s)?;
+        let improved = improved_model.speedup(n)?;
+        out.push(ScenarioOutcome {
+            scenario: s.clone(),
+            n,
+            baseline,
+            improved,
+            model: improved_model,
+        });
+    }
+    out.sort_by(|a, b| b.gain().partial_cmp(&a.gain()).expect("finite gains"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_like() -> IpsoModel {
+        IpsoModel::builder(0.6)
+            .external(ScalingFactor::linear())
+            .internal(ScalingFactor::affine(0.43, 0.57))
+            .build()
+            .expect("valid")
+    }
+
+    fn cf_like() -> IpsoModel {
+        IpsoModel::builder(1.0)
+            .external(ScalingFactor::one())
+            .induced(ScalingFactor::induced(1.0 / 3600.0, 2.0))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn halving_merge_growth_lifts_the_bound() {
+        let model = sort_like();
+        let fixed = apply(&model, &Scenario::ScaleInternalGrowth { factor: 0.5 }).unwrap();
+        // IN(1) stays 1 in the modified model.
+        assert!((fixed.internal().eval(1.0) - 1.0).abs() < 1e-9);
+        let n = 160.0;
+        assert!(fixed.speedup(n).unwrap() > 1.5 * model.speedup(n).unwrap());
+    }
+
+    #[test]
+    fn eliminating_internal_scaling_restores_gustafson() {
+        let model = sort_like();
+        let fixed = apply(&model, &Scenario::EliminateInternalScaling).unwrap();
+        let expected = crate::classic::gustafson(0.6, 100.0).unwrap();
+        assert!((fixed.speedup(100.0).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reducing_broadcast_order_moves_the_peak() {
+        let model = cf_like();
+        let fixed = apply(&model, &Scenario::ReduceInducedOrder { delta_gamma: 1.0 }).unwrap();
+        let (peak_before, _) = model.peak_speedup(500).unwrap();
+        let (peak_after, s_after) = fixed.peak_speedup(500).unwrap();
+        // Quadratic → linear q: with γ = 1 the speedup becomes bounded
+        // but monotone — no interior peak any more.
+        assert!(peak_after > 2 * peak_before, "{peak_before} -> {peak_after}");
+        assert!(s_after > model.peak_speedup(500).unwrap().1);
+    }
+
+    #[test]
+    fn eliminating_induced_workload_restores_linear_scaling() {
+        let model = cf_like();
+        let fixed = apply(&model, &Scenario::EliminateInduced).unwrap();
+        assert!((fixed.speedup(300.0).unwrap() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_orders_by_gain() {
+        // For the CF pathology, removing the broadcast beats damping it.
+        let model = cf_like();
+        let ranked = rank_scenarios(
+            &model,
+            &[
+                Scenario::ScaleInduced { factor: 0.5 },
+                Scenario::EliminateInduced,
+                Scenario::ReduceInducedOrder { delta_gamma: 1.0 },
+            ],
+            200.0,
+        )
+        .unwrap();
+        assert_eq!(ranked[0].scenario, Scenario::EliminateInduced);
+        assert!(ranked.windows(2).all(|w| w[0].gain() >= w[1].gain()));
+        assert!(ranked[0].gain() > 1.0);
+    }
+
+    #[test]
+    fn internal_scenarios_do_not_change_serial_free_models() {
+        let model = cf_like(); // eta = 1: no serial portion at all
+        let out =
+            rank_scenarios(&model, &[Scenario::EliminateInternalScaling], 100.0).unwrap();
+        assert!(out[0].gain().abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        let model = sort_like();
+        assert!(apply(&model, &Scenario::ScaleInduced { factor: -1.0 }).is_err());
+        assert!(apply(&model, &Scenario::ScaleInternalGrowth { factor: f64::NAN }).is_err());
+        assert!(
+            apply(&model, &Scenario::ReduceInducedOrder { delta_gamma: -0.5 }).is_err()
+        );
+    }
+
+    #[test]
+    fn scenario_display_is_readable() {
+        assert_eq!(
+            Scenario::ScaleInduced { factor: 0.5 }.to_string(),
+            "scale induced factor by 0.5"
+        );
+        assert_eq!(
+            Scenario::EliminateInduced.to_string(),
+            "eliminate induced workload"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type shared by all fitting routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a regression cannot be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The `x` and `y` slices have different lengths.
+    LengthMismatch {
+        /// Number of `x` samples supplied.
+        x_len: usize,
+        /// Number of `y` samples supplied.
+        y_len: usize,
+    },
+    /// Fewer data points than free parameters in the model.
+    TooFewPoints {
+        /// Number of points supplied.
+        points: usize,
+        /// Minimum number of points the routine requires.
+        required: usize,
+    },
+    /// The design matrix is singular (e.g. all `x` values identical).
+    Singular,
+    /// A sample violates a domain requirement (e.g. non-positive values
+    /// supplied to a log–log fit).
+    InvalidDomain(&'static str),
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A non-finite value (NaN or infinity) was supplied or produced.
+    NonFinite,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::LengthMismatch { x_len, y_len } => {
+                write!(f, "x has {x_len} samples but y has {y_len}")
+            }
+            FitError::TooFewPoints { points, required } => {
+                write!(f, "{points} data points supplied but at least {required} required")
+            }
+            FitError::Singular => write!(f, "design matrix is singular"),
+            FitError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
+            FitError::NoConvergence { iterations } => {
+                write!(f, "solver did not converge after {iterations} iterations")
+            }
+            FitError::NonFinite => write!(f, "non-finite value encountered"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// Validates that `x` and `y` are the same length, at least `required` long
+/// and contain only finite values.
+pub(crate) fn validate_xy(x: &[f64], y: &[f64], required: usize) -> Result<(), FitError> {
+    if x.len() != y.len() {
+        return Err(FitError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+    }
+    if x.len() < required {
+        return Err(FitError::TooFewPoints { points: x.len(), required });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(FitError, &str)> = vec![
+            (FitError::LengthMismatch { x_len: 3, y_len: 4 }, "x has 3 samples but y has 4"),
+            (
+                FitError::TooFewPoints { points: 1, required: 2 },
+                "1 data points supplied but at least 2 required",
+            ),
+            (FitError::Singular, "design matrix is singular"),
+            (FitError::InvalidDomain("x must be positive"), "invalid domain: x must be positive"),
+            (FitError::NoConvergence { iterations: 50 }, "solver did not converge after 50 iterations"),
+            (FitError::NonFinite, "non-finite value encountered"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_lengths() {
+        let err = validate_xy(&[1.0, 2.0], &[1.0], 1).unwrap_err();
+        assert_eq!(err, FitError::LengthMismatch { x_len: 2, y_len: 1 });
+    }
+
+    #[test]
+    fn validate_rejects_too_few_points() {
+        let err = validate_xy(&[1.0], &[1.0], 2).unwrap_err();
+        assert_eq!(err, FitError::TooFewPoints { points: 1, required: 2 });
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let err = validate_xy(&[1.0, f64::NAN], &[1.0, 2.0], 2).unwrap_err();
+        assert_eq!(err, FitError::NonFinite);
+    }
+
+    #[test]
+    fn validate_accepts_good_input() {
+        assert!(validate_xy(&[1.0, 2.0], &[3.0, 4.0], 2).is_ok());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FitError>();
+    }
+}

@@ -1,0 +1,130 @@
+//! Polynomial least squares of arbitrary degree.
+
+use crate::diagnostics::GoodnessOfFit;
+use crate::error::validate_xy;
+use crate::matrix::Matrix;
+use crate::FitError;
+
+/// Result of fitting `y = c0 + c1·x + … + cd·x^d`.
+///
+/// # Example
+///
+/// ```
+/// use ipso_fit::fit_polynomial;
+///
+/// # fn main() -> Result<(), ipso_fit::FitError> {
+/// let x: Vec<f64> = (0..8).map(|v| v as f64).collect();
+/// let y: Vec<f64> = x.iter().map(|v| 1.0 + 2.0 * v + 0.5 * v * v).collect();
+/// let fit = fit_polynomial(&x, &y, 2)?;
+/// assert!((fit.coefficients[2] - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialFit {
+    /// Coefficients in ascending-power order: `coefficients[k]` multiplies
+    /// `x^k`.
+    pub coefficients: Vec<f64>,
+    /// Goodness-of-fit statistics.
+    pub gof: GoodnessOfFit,
+}
+
+impl PolynomialFit {
+    /// Degree of the fitted polynomial.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Evaluates the fitted polynomial at `x` (Horner's method).
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Returns the highest-power coefficient, i.e. the leading term the
+    /// asymptotic analysis in the paper keeps (Eqs. 14–15).
+    pub fn leading_coefficient(&self) -> f64 {
+        *self.coefficients.last().expect("polynomial has at least one coefficient")
+    }
+}
+
+/// Fits a polynomial of the given `degree` by least squares on the normal
+/// equations.
+///
+/// # Errors
+///
+/// Returns an error if fewer than `degree + 1` points are supplied, inputs
+/// are mismatched or non-finite, or the Vandermonde system is singular
+/// (e.g. repeated `x` values with high degree).
+pub fn fit_polynomial(x: &[f64], y: &[f64], degree: usize) -> Result<PolynomialFit, FitError> {
+    validate_xy(x, y, degree + 1)?;
+    let rows: Vec<Vec<f64>> = x
+        .iter()
+        .map(|&xv| (0..=degree).map(|p| xv.powi(p as i32)).collect())
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let design = Matrix::from_rows(&row_refs);
+    let yv = Matrix::column(y);
+    let coefficients = Matrix::least_squares(&design, &yv)?.into_column_vec();
+
+    let predicted: Vec<f64> = x
+        .iter()
+        .map(|&xv| coefficients.iter().rev().fold(0.0, |acc, &c| acc * xv + c))
+        .collect();
+    let gof = GoodnessOfFit::from_predictions(y, &predicted, degree + 1);
+    Ok(PolynomialFit { coefficients, gof })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_zero_is_the_mean() {
+        let fit = fit_polynomial(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], 0).unwrap();
+        assert_eq!(fit.degree(), 0);
+        assert!((fit.coefficients[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_quadratic() {
+        let x: Vec<f64> = (0..10).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 - v + 2.0 * v * v).collect();
+        let fit = fit_polynomial(&x, &y, 2).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-8);
+        assert!((fit.coefficients[1] + 1.0).abs() < 1e-8);
+        assert!((fit.coefficients[2] - 2.0).abs() < 1e-9);
+        assert!((fit.leading_coefficient() - 2.0).abs() < 1e-9);
+        assert!(fit.gof.r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn recovers_cubic() {
+        let x: Vec<f64> = (1..12).map(|v| v as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|v| 0.1 * v.powi(3) - v + 2.0).collect();
+        let fit = fit_polynomial(&x, &y, 3).unwrap();
+        assert!((fit.coefficients[3] - 0.1).abs() < 1e-7);
+        assert!((fit.predict(4.0) - (0.1 * 64.0 - 4.0 + 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_few_points_for_degree() {
+        let err = fit_polynomial(&[1.0, 2.0], &[1.0, 2.0], 2).unwrap_err();
+        assert_eq!(err, FitError::TooFewPoints { points: 2, required: 3 });
+    }
+
+    #[test]
+    fn repeated_x_is_singular_for_high_degree() {
+        let err = fit_polynomial(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 2).unwrap_err();
+        assert_eq!(err, FitError::Singular);
+    }
+
+    #[test]
+    fn predict_matches_horner_evaluation() {
+        let fit = PolynomialFit {
+            coefficients: vec![1.0, -2.0, 0.5],
+            gof: GoodnessOfFit::from_predictions(&[0.0], &[0.0], 1),
+        };
+        // 1 - 2*3 + 0.5*9 = -0.5
+        assert!((fit.predict(3.0) + 0.5).abs() < 1e-12);
+    }
+}

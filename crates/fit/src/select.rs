@@ -1,0 +1,305 @@
+//! Model selection across candidate curve families.
+//!
+//! The diagnostic procedure repeatedly asks "is this constant, linear,
+//! power-law, saturating or step-wise?". This module fits every candidate
+//! family and ranks them by the corrected Akaike information criterion
+//! (AICc), which balances fit quality against parameter count — the
+//! principled version of the ad-hoc R² comparisons scattered through
+//! measurement folklore.
+
+use crate::diagnostics::GoodnessOfFit;
+use crate::error::validate_xy;
+use crate::nonlinear::{levenberg_marquardt, NonlinearOptions};
+use crate::{fit_line, fit_power_law, fit_two_segment, FitError};
+
+/// A candidate curve family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// `y = c`.
+    Constant,
+    /// `y = a + b·x`.
+    Linear,
+    /// `y = a·x^b`.
+    PowerLaw,
+    /// `y = L·x / (x + k)` — saturating growth towards `L`.
+    Saturating,
+    /// Two linear segments with a changepoint.
+    TwoSegment,
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ModelFamily::Constant => "constant",
+            ModelFamily::Linear => "linear",
+            ModelFamily::PowerLaw => "power-law",
+            ModelFamily::Saturating => "saturating",
+            ModelFamily::TwoSegment => "two-segment",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One fitted candidate with its score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The family.
+    pub family: ModelFamily,
+    /// Fitted parameters, family-specific order:
+    /// Constant `[c]`; Linear `[intercept, slope]`; PowerLaw `[a, b]`;
+    /// Saturating `[L, k]`; TwoSegment `[breakpoint, slope_l, icept_l,
+    /// slope_r, icept_r]`.
+    pub params: Vec<f64>,
+    /// Goodness of fit.
+    pub gof: GoodnessOfFit,
+    /// Corrected Akaike information criterion — lower is better.
+    pub aicc: f64,
+}
+
+impl Candidate {
+    /// Evaluates the fitted candidate at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        match self.family {
+            ModelFamily::Constant => self.params[0],
+            ModelFamily::Linear => self.params[0] + self.params[1] * x,
+            ModelFamily::PowerLaw => self.params[0] * x.powf(self.params[1]),
+            ModelFamily::Saturating => self.params[0] * x / (x + self.params[1]),
+            ModelFamily::TwoSegment => {
+                if x <= self.params[0] {
+                    self.params[2] + self.params[1] * x
+                } else {
+                    self.params[4] + self.params[3] * x
+                }
+            }
+        }
+    }
+}
+
+/// AICc for a least-squares fit with `k` parameters on `n` points.
+///
+/// `scale` is the mean squared magnitude of the observations; residuals
+/// are floored at a relative epsilon of it so that numerically perfect
+/// fits tie on the likelihood term and the parameter-count penalty
+/// decides (otherwise float noise at the 1e-30 level would pick the most
+/// flexible family).
+fn aicc(ss_res: f64, n: usize, k: usize, scale: f64) -> f64 {
+    let nf = n as f64;
+    let kf = k as f64;
+    let floor = (scale * nf * 1e-18).max(1e-300);
+    let base = nf * (ss_res.max(floor) / nf).ln() + 2.0 * kf;
+    let denom = nf - kf - 1.0;
+    if denom > 0.0 {
+        base + 2.0 * kf * (kf + 1.0) / denom
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Fits all applicable candidate families and returns them sorted by
+/// AICc (best first).
+///
+/// Families whose domain requirements fail (e.g. power law with
+/// non-positive data) or whose solvers do not converge are skipped.
+///
+/// # Errors
+///
+/// Returns validation errors for unusable input, or
+/// [`FitError::NoConvergence`] if *no* family could be fitted.
+///
+/// # Example
+///
+/// ```
+/// use ipso_fit::select::{select_model, ModelFamily};
+///
+/// # fn main() -> Result<(), ipso_fit::FitError> {
+/// let x: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+/// let y: Vec<f64> = x.iter().map(|v| 8.0 * v / (v + 3.0)).collect();
+/// let ranked = select_model(&x, &y)?;
+/// assert_eq!(ranked[0].family, ModelFamily::Saturating);
+/// assert!((ranked[0].params[0] - 8.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_model(x: &[f64], y: &[f64]) -> Result<Vec<Candidate>, FitError> {
+    validate_xy(x, y, 3)?;
+    let n = x.len();
+    let scale = y.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    let mut out: Vec<Candidate> = Vec::new();
+
+    // Constant.
+    {
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let predicted = vec![mean; n];
+        let gof = GoodnessOfFit::from_predictions(y, &predicted, 1);
+        out.push(Candidate {
+            family: ModelFamily::Constant,
+            params: vec![mean],
+            aicc: aicc(gof.ss_res, n, 1, scale),
+            gof,
+        });
+    }
+
+    // Linear.
+    if let Ok(line) = fit_line(x, y) {
+        out.push(Candidate {
+            family: ModelFamily::Linear,
+            params: vec![line.intercept, line.slope],
+            aicc: aicc(line.gof.ss_res, n, 2, scale),
+            gof: line.gof,
+        });
+    }
+
+    // Power law (positive data only).
+    if let Ok(pl) = fit_power_law(x, y) {
+        out.push(Candidate {
+            family: ModelFamily::PowerLaw,
+            params: vec![pl.coefficient, pl.exponent],
+            aicc: aicc(pl.gof.ss_res, n, 2, scale),
+            gof: pl.gof,
+        });
+    }
+
+    // Saturating hyperbola.
+    if let Some(&last) = y.last() {
+        if let Ok(fit) = levenberg_marquardt(
+            |p, xv| p[0] * xv / (xv + p[1].abs()),
+            x,
+            y,
+            &[last * 1.5, 1.0],
+            &NonlinearOptions::default(),
+        ) {
+            let params = vec![fit.params[0], fit.params[1].abs()];
+            out.push(Candidate {
+                family: ModelFamily::Saturating,
+                aicc: aicc(fit.gof.ss_res, n, 2, scale),
+                gof: fit.gof,
+                params,
+            });
+        }
+    }
+
+    // Two-segment (needs enough points).
+    if n >= 8 {
+        if let Ok(seg) = fit_two_segment(x, y, 3) {
+            out.push(Candidate {
+                family: ModelFamily::TwoSegment,
+                params: vec![
+                    seg.breakpoint,
+                    seg.left.slope,
+                    seg.left.intercept,
+                    seg.right.slope,
+                    seg.right.intercept,
+                ],
+                aicc: aicc(seg.gof.ss_res, n, 5, scale),
+                gof: seg.gof,
+            });
+        }
+    }
+
+    if out.is_empty() {
+        return Err(FitError::NoConvergence { iterations: 0 });
+    }
+    out.sort_by(|a, b| a.aicc.partial_cmp(&b.aicc).expect("finite AICc ordering"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs(n: usize) -> Vec<f64> {
+        (1..=n).map(|v| v as f64).collect()
+    }
+
+    #[test]
+    fn picks_constant_for_flat_data() {
+        let x = xs(12);
+        let y = vec![3.0; 12];
+        let ranked = select_model(&x, &y).unwrap();
+        assert_eq!(ranked[0].family, ModelFamily::Constant);
+        assert!((ranked[0].params[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picks_linear_for_lines() {
+        let x = xs(12);
+        let y: Vec<f64> = x.iter().map(|v| 0.36 * v - 0.11).collect();
+        let ranked = select_model(&x, &y).unwrap();
+        assert_eq!(ranked[0].family, ModelFamily::Linear);
+        assert!((ranked[0].params[1] - 0.36).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_power_law_for_power_laws() {
+        let x = xs(15);
+        let y: Vec<f64> = x.iter().map(|v| 0.5 * v.powf(1.7)).collect();
+        let ranked = select_model(&x, &y).unwrap();
+        assert_eq!(ranked[0].family, ModelFamily::PowerLaw);
+        assert!((ranked[0].params[1] - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn picks_saturating_for_amdahl_curves() {
+        let x = xs(16);
+        let y: Vec<f64> = x.iter().map(|v| 1.0 / (0.9 / v + 0.1)).collect();
+        // Amdahl's curve IS L·x/(x+k) with L = 10, k = 9.
+        let ranked = select_model(&x, &y).unwrap();
+        assert_eq!(ranked[0].family, ModelFamily::Saturating);
+        assert!((ranked[0].params[0] - 10.0).abs() < 1e-6, "L = {}", ranked[0].params[0]);
+        assert!((ranked[0].params[1] - 9.0).abs() < 1e-6, "k = {}", ranked[0].params[1]);
+    }
+
+    #[test]
+    fn picks_two_segment_for_stepwise_data() {
+        let x = xs(30);
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 15.0 { 0.15 * v + 0.85 } else { 0.25 * v + 1.6 })
+            .collect();
+        let ranked = select_model(&x, &y).unwrap();
+        assert_eq!(ranked[0].family, ModelFamily::TwoSegment);
+        assert!((ranked[0].params[0] - 15.0).abs() < 1.01);
+    }
+
+    #[test]
+    fn prediction_matches_family_formula() {
+        let c = Candidate {
+            family: ModelFamily::Saturating,
+            params: vec![10.0, 9.0],
+            gof: GoodnessOfFit::from_predictions(&[1.0], &[1.0], 1),
+            aicc: 0.0,
+        };
+        assert!((c.predict(9.0) - 5.0).abs() < 1e-12);
+        let t = Candidate {
+            family: ModelFamily::TwoSegment,
+            params: vec![5.0, 1.0, 0.0, 2.0, -5.0],
+            gof: GoodnessOfFit::from_predictions(&[1.0], &[1.0], 1),
+            aicc: 0.0,
+        };
+        assert_eq!(t.predict(4.0), 4.0);
+        assert_eq!(t.predict(10.0), 15.0);
+    }
+
+    #[test]
+    fn negative_data_skips_power_law_but_still_selects() {
+        let x = xs(10);
+        let y: Vec<f64> = x.iter().map(|v| v - 5.0).collect();
+        let ranked = select_model(&x, &y).unwrap();
+        assert!(ranked.iter().all(|c| c.family != ModelFamily::PowerLaw));
+        assert_eq!(ranked[0].family, ModelFamily::Linear);
+    }
+
+    #[test]
+    fn all_candidates_are_ranked_by_aicc() {
+        let x = xs(20);
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let ranked = select_model(&x, &y).unwrap();
+        assert!(ranked.windows(2).all(|w| w[0].aicc <= w[1].aicc));
+        assert!(ranked.len() >= 4);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(select_model(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Job configuration.
+
+use ipso_cluster::{
+    CentralScheduler, ClusterSpec, MemoryModel, NetworkModel, StragglerModel,
+};
+
+use crate::cost::JobCostModel;
+
+/// Full configuration of one MapReduce job execution.
+///
+/// # Example
+///
+/// ```
+/// use ipso_mapreduce::JobSpec;
+///
+/// let spec = JobSpec::emr("sort", 16);
+/// assert_eq!(spec.cluster.workers, 16);
+/// spec.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job label, used in traces.
+    pub name: String,
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Centralized scheduler cost model.
+    pub scheduler: CentralScheduler,
+    /// Network transfer model.
+    pub network: NetworkModel,
+    /// Reducer-side memory model (drives the TeraSort spill burst).
+    pub reducer_memory: MemoryModel,
+    /// Task-time noise.
+    pub straggler: StragglerModel,
+    /// Processing-rate calibration.
+    pub cost: JobCostModel,
+    /// When `true`, the reducer pulls each map task's output as soon as
+    /// that task finishes (Hadoop's slow-start shuffle), so shuffle work
+    /// overlaps the map phase and only the post-barrier remainder counts.
+    /// The queueing of transfers at the single reducer — the paper's
+    /// "queuing effect for result merging" — is simulated with a FIFO
+    /// server. `false` (the default) charges the shuffle strictly after
+    /// the barrier, as the paper's phase decomposition assumes.
+    pub pipelined_shuffle: bool,
+    /// RNG seed: identical specs produce identical traces.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// The paper's EMR setup with `n` workers and sensible defaults:
+    /// Hadoop-like scheduler, 2 GB reducer memory, mild stragglers.
+    pub fn emr(name: &str, n: u32) -> JobSpec {
+        let cluster = ClusterSpec::emr(n);
+        JobSpec {
+            name: name.to_string(),
+            network: NetworkModel::from_cluster(&cluster),
+            cluster,
+            scheduler: CentralScheduler::hadoop_like(),
+            reducer_memory: MemoryModel::reducer_2gb(),
+            straggler: StragglerModel::mild(),
+            cost: JobCostModel::io_bound(),
+            pipelined_shuffle: false,
+            seed: 42,
+        }
+    }
+
+    /// Validates all constituent models.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cluster.validate()?;
+        self.scheduler.validate()?;
+        self.reducer_memory.validate()?;
+        self.straggler.validate()?;
+        self.cost.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emr_defaults_validate() {
+        assert!(JobSpec::emr("wordcount", 8).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_cluster_fails_validation() {
+        let mut spec = JobSpec::emr("x", 1);
+        spec.cluster.workers = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn spec_is_deterministic_by_construction() {
+        assert_eq!(JobSpec::emr("a", 4), JobSpec::emr("a", 4));
+    }
+}

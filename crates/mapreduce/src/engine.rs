@@ -1,0 +1,480 @@
+//! The MapReduce execution engine.
+//!
+//! Two execution modes, matching the paper's Section IV definitions:
+//!
+//! * [`run_scale_out`] — `n` map tasks in parallel on `n` units with a
+//!   synchronization barrier, then a single reducer;
+//! * [`run_sequential`] — the sequential job execution model defining the
+//!   speedup numerator: the same tasks run back-to-back on one unit,
+//!   followed by the same merge.
+//!
+//! Both modes *really execute* the user's map/combine/reduce functions
+//! over the sample records and produce real outputs; only wall-clock time
+//! is synthetic, charged from nominal data volumes via the cost model.
+
+use std::collections::BTreeMap;
+
+use ipso_cluster::{run_wave_schedule, JobTrace, PhaseTimes};
+use ipso_sim::SimRng;
+
+use crate::api::{Mapper, OutputScaling, Reducer};
+use crate::config::JobSpec;
+use crate::split::InputSplit;
+
+/// The result of one job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRun<O> {
+    /// Timing trace (phases, tasks, scale-out overheads).
+    pub trace: JobTrace,
+    /// The real output records produced by the reducer, in key order.
+    pub output: Vec<O>,
+    /// Nominal bytes entering the reduce phase.
+    pub reduce_input_bytes: u64,
+}
+
+/// The per-task result of the (real) map-side computation.
+struct MappedTask<K, V> {
+    /// Combined key/value pairs, grouped by key.
+    groups: BTreeMap<K, Vec<V>>,
+    /// Nominal post-combine output bytes.
+    nominal_out_bytes: u64,
+}
+
+/// Runs the map + combine side of one task for real.
+fn execute_map_task<M>(mapper: &M, split: &InputSplit<M::Input>) -> MappedTask<M::Key, M::Value>
+where
+    M: Mapper,
+{
+    use crate::api::Sizeable;
+
+    let mut pairs: Vec<(M::Key, M::Value)> = Vec::new();
+    for record in &split.records {
+        mapper.map(record, &mut |k, v| pairs.push((k, v)));
+    }
+    // Group by key (the map-side sort), then combine.
+    let mut groups: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut combined: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+    let mut sample_out_bytes: u64 = 0;
+    for (k, vs) in groups {
+        let vs = mapper.combine(&k, vs);
+        for v in &vs {
+            sample_out_bytes += k.size_bytes() + v.size_bytes();
+        }
+        combined.insert(k, vs);
+    }
+    let nominal_out_bytes = match mapper.output_scaling() {
+        OutputScaling::Proportional => {
+            (sample_out_bytes as f64 * split.scale_up()).round() as u64
+        }
+        OutputScaling::Saturating => sample_out_bytes,
+    };
+    MappedTask { groups: combined, nominal_out_bytes }
+}
+
+/// Merges all tasks' groups and runs the reducer for real.
+fn execute_reduce<R>(
+    reducer: &R,
+    tasks: Vec<MappedTask<R::Key, R::Value>>,
+) -> (Vec<R::Output>, u64)
+where
+    R: Reducer,
+{
+    let mut merged: BTreeMap<R::Key, Vec<R::Value>> = BTreeMap::new();
+    let mut reduce_input_bytes: u64 = 0;
+    for t in tasks {
+        reduce_input_bytes += t.nominal_out_bytes;
+        for (k, mut vs) in t.groups {
+            merged.entry(k).or_default().append(&mut vs);
+        }
+    }
+    let mut output = Vec::new();
+    for (k, vs) in &merged {
+        reducer.reduce(k, vs, &mut |o| output.push(o));
+    }
+    (output, reduce_input_bytes)
+}
+
+/// Runs the job scaled out over `splits.len()` parallel tasks.
+///
+/// The trace records:
+///
+/// * `phases.map` — the slowest task (barrier synchronization);
+/// * `phases.shuffle/merge/reduce` — the serial merging portion, with the
+///   shuffle paying the network incast penalty and the merge paying the
+///   memory spill multiplier;
+/// * `scale_out_overhead` — job setup, dispatch serialization and barrier
+///   skew beyond the slowest task: the measured `Wo(n)`.
+///
+/// # Panics
+///
+/// Panics if `splits` is empty, the split count exceeds the cluster's
+/// slots, or the spec fails validation.
+pub fn run_scale_out<M, R>(
+    spec: &JobSpec,
+    mapper: &M,
+    reducer: &R,
+    splits: &[InputSplit<M::Input>],
+) -> JobRun<R::Output>
+where
+    M: Mapper,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+{
+    assert!(!splits.is_empty(), "scale-out run needs at least one split");
+    spec.validate().expect("invalid job spec");
+    let slots = spec.cluster.total_slots() as usize;
+    assert!(
+        splits.len() <= slots,
+        "one container per unit: {} splits exceed {} slots",
+        splits.len(),
+        slots
+    );
+    let n = splits.len() as u32;
+    let mut rng = SimRng::seed_from(spec.seed ^ u64::from(n));
+
+    // Real map-side computation.
+    let mapped: Vec<MappedTask<M::Key, M::Value>> =
+        splits.iter().map(|s| execute_map_task(mapper, s)).collect();
+
+    // Nominal task durations with straggler noise.
+    let durations: Vec<f64> = splits
+        .iter()
+        .map(|s| spec.cost.map_time(s.nominal_bytes) * spec.straggler.multiplier(&mut rng))
+        .collect();
+    let schedule = run_wave_schedule(&durations, slots.min(splits.len()), &spec.scheduler);
+    let max_task = schedule.max_task_duration();
+
+    // Serial merging portion. The shuffle is charged at the reducer's
+    // service rate, as in the sequential execution: the paper inspected
+    // the shuffle stage for scale-out-induced discrepancies and found
+    // them negligible for the single-reducer MapReduce cases (the
+    // network-level incast model lives in `ipso_cluster::NetworkModel`
+    // and is exercised by the Spark engine's m-to-m shuffles).
+    let total_intermediate: u64 = mapped.iter().map(|t| t.nominal_out_bytes).sum();
+    let shuffle = if spec.pipelined_shuffle {
+        // Slow-start shuffle: the reducer's transfer server ingests each
+        // task's output when that task completes; only the portion that
+        // outlasts the map barrier remains on the critical path. The FIFO
+        // server captures the queueing effect at the single reducer.
+        let mut server = ipso_sim::FifoServer::new();
+        let mut finish = ipso_sim::SimTime::ZERO;
+        for (record, task) in schedule.records.iter().zip(&mapped) {
+            let service = spec.cost.shuffle_time(task.nominal_out_bytes);
+            let grant =
+                server.submit(ipso_sim::SimTime::from_secs(record.end), service);
+            finish = finish.max(grant.finish);
+        }
+        (finish.as_secs() - schedule.makespan).max(0.0)
+    } else {
+        spec.cost.shuffle_time(total_intermediate)
+    };
+    let slowdown = spec.reducer_memory.slowdown(total_intermediate);
+    let merge = spec.cost.serial_setup + spec.cost.merge_time(total_intermediate) * slowdown;
+
+    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped);
+    let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
+
+    // Scale-out-only overheads: extra job setup versus the sequential
+    // environment, plus the dispatch-induced stretch of the split phase.
+    let setup_extra = (spec.scheduler.job_setup - spec.cost.seq_init).max(0.0);
+    let barrier_stretch = (schedule.makespan - max_task).max(0.0);
+
+    let trace = JobTrace {
+        job: spec.name.clone(),
+        n,
+        phases: PhaseTimes {
+            init: spec.cost.seq_init,
+            map: max_task,
+            shuffle,
+            merge,
+            reduce,
+        },
+        tasks: schedule.records,
+        scale_out_overhead: setup_extra + barrier_stretch,
+    };
+    JobRun { trace, output, reduce_input_bytes }
+}
+
+/// Runs the paper's sequential job execution model: all tasks
+/// back-to-back on one processing unit, then the merge. No dispatch
+/// overhead, no incast, no stragglers (the expectation is charged via the
+/// straggler model's mean multiplier so workloads stay calibrated).
+///
+/// # Panics
+///
+/// Panics if `splits` is empty or the spec fails validation.
+pub fn run_sequential<M, R>(
+    spec: &JobSpec,
+    mapper: &M,
+    reducer: &R,
+    splits: &[InputSplit<M::Input>],
+) -> JobRun<R::Output>
+where
+    M: Mapper,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+{
+    assert!(!splits.is_empty(), "sequential run needs at least one split");
+    spec.validate().expect("invalid job spec");
+    let n = splits.len() as u32;
+
+    let mapped: Vec<MappedTask<M::Key, M::Value>> =
+        splits.iter().map(|s| execute_map_task(mapper, s)).collect();
+
+    let mean_mult = spec.straggler.mean_multiplier();
+    let map_total: f64 =
+        splits.iter().map(|s| spec.cost.map_time(s.nominal_bytes) * mean_mult).sum();
+
+    let total_intermediate: u64 = mapped.iter().map(|t| t.nominal_out_bytes).sum();
+    let shuffle = spec.cost.shuffle_time(total_intermediate);
+    let slowdown = spec.reducer_memory.slowdown(total_intermediate);
+    let merge = spec.cost.serial_setup + spec.cost.merge_time(total_intermediate) * slowdown;
+
+    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped);
+    let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
+
+    let trace = JobTrace {
+        job: spec.name.clone(),
+        n,
+        phases: PhaseTimes { init: spec.cost.seq_init, map: map_total, shuffle, merge, reduce },
+        tasks: Vec::new(),
+        scale_out_overhead: 0.0,
+    };
+    JobRun { trace, output, reduce_input_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{OutputScaling, Sizeable};
+
+    /// A sort-style identity job over u64 records.
+    struct IdMap;
+    impl Mapper for IdMap {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(*input, *input);
+        }
+    }
+    struct IdReduce;
+    impl Reducer for IdReduce {
+        type Key = u64;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, key: &u64, values: &[u64], emit: &mut dyn FnMut(u64)) {
+            for _ in values {
+                emit(*key);
+            }
+        }
+    }
+
+    /// A counting job with a saturating combiner.
+    struct CountMap;
+    impl Mapper for CountMap {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(input % 10, 1);
+        }
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+        fn output_scaling(&self) -> OutputScaling {
+            OutputScaling::Saturating
+        }
+    }
+    struct SumReduce;
+    impl Reducer for SumReduce {
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+        fn reduce(&self, key: &u64, values: &[u64], emit: &mut dyn FnMut((u64, u64))) {
+            emit((*key, values.iter().sum()));
+        }
+    }
+
+    fn splits(n: u32, records_per: u64) -> Vec<InputSplit<u64>> {
+        (0..n)
+            .map(|i| {
+                let records: Vec<u64> =
+                    (0..records_per).map(|j| (u64::from(i) * records_per + j) % 997).collect();
+                let bytes = records.iter().map(Sizeable::size_bytes).sum::<u64>();
+                InputSplit::new(records, bytes, bytes * 1000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_job_outputs_sorted_multiset() {
+        let spec = JobSpec::emr("sort", 4);
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        assert_eq!(run.output.len(), 400);
+        assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+        // Identical multiset as inputs.
+        let mut inputs: Vec<u64> = splits(4, 100).into_iter().flat_map(|s| s.records).collect();
+        inputs.sort_unstable();
+        assert_eq!(run.output, inputs);
+    }
+
+    #[test]
+    fn sequential_and_parallel_produce_identical_output() {
+        let spec = JobSpec::emr("count", 3);
+        let par = run_scale_out(&spec, &CountMap, &SumReduce, &splits(3, 500));
+        let seq = run_sequential(&spec, &CountMap, &SumReduce, &splits(3, 500));
+        assert_eq!(par.output, seq.output);
+        // All 10 residue classes, each with 150 total.
+        assert_eq!(par.output.len(), 10);
+        assert_eq!(par.output.iter().map(|(_, c)| c).sum::<u64>(), 1500);
+    }
+
+    #[test]
+    fn speedup_numerator_exceeds_denominator() {
+        let spec = JobSpec::emr("sort", 8);
+        let s = splits(8, 200);
+        let par = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+        let seq = run_sequential(&spec, &IdMap, &IdReduce, &s);
+        // Sequential map is the sum; parallel map is roughly one task.
+        assert!(seq.trace.phases.map > 6.0 * par.trace.phases.map);
+        assert!(seq.trace.phases.map < 9.0 * par.trace.phases.map);
+    }
+
+    #[test]
+    fn proportional_scaling_amplifies_intermediate_bytes() {
+        let spec = JobSpec::emr("sort", 2);
+        let s = splits(2, 100);
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+        // Sample is 1/1000 of nominal: intermediate must scale up ~1000×.
+        let sample: u64 = 2 * 100 * 16;
+        assert!(run.reduce_input_bytes > 900 * sample / 2);
+    }
+
+    #[test]
+    fn saturating_scaling_keeps_intermediate_small() {
+        let spec = JobSpec::emr("count", 2);
+        let run = run_scale_out(&spec, &CountMap, &SumReduce, &splits(2, 1000));
+        // Post-combine: ≤ 10 keys per task, 16 bytes each.
+        assert!(run.reduce_input_bytes <= 2 * 10 * 16);
+    }
+
+    #[test]
+    fn scale_out_overhead_is_recorded() {
+        let spec = JobSpec::emr("sort", 8);
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(8, 50));
+        assert!(run.trace.scale_out_overhead > 0.0);
+        let seq = run_sequential(&spec, &IdMap, &IdReduce, &splits(8, 50));
+        assert_eq!(seq.trace.scale_out_overhead, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = JobSpec::emr("sort", 4);
+        let a = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        let b = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn different_seeds_change_stragglers() {
+        let mut spec = JobSpec::emr("sort", 4);
+        let a = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        spec.seed = 7;
+        let b = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        assert_ne!(a.trace.phases.map, b.trace.phases.map);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn more_splits_than_slots_rejected() {
+        let spec = JobSpec::emr("sort", 2);
+        let _ = run_scale_out(&spec, &IdMap, &IdReduce, &splits(3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one split")]
+    fn empty_splits_rejected() {
+        let spec = JobSpec::emr("sort", 2);
+        let _ = run_scale_out(&spec, &IdMap, &IdReduce, &[]);
+    }
+}
+
+#[cfg(test)]
+mod pipelined_shuffle_tests {
+    use super::*;
+    use crate::api::{Mapper, Reducer};
+
+    struct IdMap;
+    impl Mapper for IdMap {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, emit: &mut dyn FnMut(u64, u64)) {
+            emit(*input, *input);
+        }
+    }
+    struct IdReduce;
+    impl Reducer for IdReduce {
+        type Key = u64;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, key: &u64, values: &[u64], emit: &mut dyn FnMut(u64)) {
+            for _ in values {
+                emit(*key);
+            }
+        }
+    }
+
+    fn splits(n: u32) -> Vec<InputSplit<u64>> {
+        (0..n)
+            .map(|i| {
+                let records: Vec<u64> = (0..64).map(|j| u64::from(i) * 64 + j).collect();
+                InputSplit::new(records, 64 * 8, 128 * 1024 * 1024)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelining_shrinks_the_visible_shuffle() {
+        let mut plain = JobSpec::emr("sort", 16);
+        plain.pipelined_shuffle = false;
+        let mut piped = plain.clone();
+        piped.pipelined_shuffle = true;
+        let s = splits(16);
+        let a = run_scale_out(&plain, &IdMap, &IdReduce, &s);
+        let b = run_scale_out(&piped, &IdMap, &IdReduce, &s);
+        assert!(
+            b.trace.phases.shuffle < a.trace.phases.shuffle,
+            "pipelined {} vs barrier {}",
+            b.trace.phases.shuffle,
+            a.trace.phases.shuffle
+        );
+        // Outputs are identical either way — pipelining is timing-only.
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn pipelined_shuffle_never_negative_and_bounded_by_total() {
+        let mut spec = JobSpec::emr("sort", 8);
+        spec.pipelined_shuffle = true;
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(8));
+        let total = spec.cost.shuffle_time(run.reduce_input_bytes);
+        assert!(run.trace.phases.shuffle >= 0.0);
+        assert!(run.trace.phases.shuffle <= total + 1e-9);
+    }
+
+    #[test]
+    fn queueing_effect_appears_when_transfers_outpace_the_reducer() {
+        // Make the reducer's shuffle service very slow: transfers queue
+        // and the remainder after the barrier approaches the full total.
+        let mut spec = JobSpec::emr("sort", 8);
+        spec.pipelined_shuffle = true;
+        spec.cost.shuffle_rate = 1.0e6; // 1 MB/s reducer ingest
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(8));
+        let total = spec.cost.shuffle_time(run.reduce_input_bytes);
+        // Nearly nothing could be hidden behind the (short) map phase.
+        assert!(run.trace.phases.shuffle > 0.9 * total - run.trace.phases.map - 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Input splits: the unit of map-task work.
+
+/// The input assigned to one map task.
+///
+/// To keep 200-node sweeps laptop-fast the engine executes a *sample* of
+/// the records a real 128 MB shard would contain, while charging time for
+/// the full `nominal_bytes`. `sample_fraction` records how much of the
+/// nominal data the sample represents, so proportional mappers can
+/// extrapolate their output volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSplit<I> {
+    /// The records actually executed.
+    pub records: Vec<I>,
+    /// Serialized size of the executed records, bytes.
+    pub sample_bytes: u64,
+    /// The shard size this split stands for (e.g. 128 MiB), bytes.
+    pub nominal_bytes: u64,
+}
+
+impl<I> InputSplit<I> {
+    /// Creates a split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_bytes` is zero while records exist, or
+    /// `nominal_bytes < sample_bytes`.
+    pub fn new(records: Vec<I>, sample_bytes: u64, nominal_bytes: u64) -> Self {
+        assert!(
+            records.is_empty() || sample_bytes > 0,
+            "non-empty splits must report their sample size"
+        );
+        assert!(
+            nominal_bytes >= sample_bytes,
+            "nominal size cannot be smaller than the executed sample"
+        );
+        InputSplit { records, sample_bytes, nominal_bytes }
+    }
+
+    /// A split executed in full (sample == nominal).
+    pub fn full(records: Vec<I>, bytes: u64) -> Self {
+        InputSplit::new(records, bytes, bytes)
+    }
+
+    /// Fraction of the nominal data actually executed, in `(0, 1]`.
+    pub fn sample_fraction(&self) -> f64 {
+        if self.nominal_bytes == 0 {
+            1.0
+        } else {
+            self.sample_bytes as f64 / self.nominal_bytes as f64
+        }
+    }
+
+    /// Scale factor from sample volume to nominal volume (≥ 1).
+    pub fn scale_up(&self) -> f64 {
+        if self.sample_bytes == 0 {
+            1.0
+        } else {
+            self.nominal_bytes as f64 / self.sample_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_scale() {
+        let s = InputSplit::new(vec![1, 2, 3], 1000, 128_000);
+        assert!((s.sample_fraction() - 1000.0 / 128_000.0).abs() < 1e-12);
+        assert!((s.scale_up() - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_split_has_unit_scale() {
+        let s = InputSplit::full(vec![1], 8);
+        assert_eq!(s.sample_fraction(), 1.0);
+        assert_eq!(s.scale_up(), 1.0);
+    }
+
+    #[test]
+    fn empty_split_is_degenerate_but_safe() {
+        let s: InputSplit<u8> = InputSplit::new(Vec::new(), 0, 0);
+        assert_eq!(s.sample_fraction(), 1.0);
+        assert_eq!(s.scale_up(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal size cannot be smaller")]
+    fn nominal_below_sample_rejected() {
+        let _ = InputSplit::new(vec![1], 100, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size")]
+    fn nonempty_zero_sample_rejected() {
+        let _ = InputSplit::new(vec![1], 0, 50);
+    }
+}

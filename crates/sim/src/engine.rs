@@ -1,0 +1,166 @@
+//! The simulation driver: a virtual clock plus an event queue.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A discrete-event simulation.
+///
+/// The driver is deliberately thin: callers pull events with
+/// [`Simulation::next_event`] (which advances the clock) and schedule new
+/// ones in response. This keeps the engine free of trait gymnastics while
+/// remaining fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use ipso_sim::Simulation;
+///
+/// // A tiny M/D/1-style cascade: each event spawns one follow-up until
+/// // five have fired.
+/// let mut sim = Simulation::new();
+/// sim.schedule_in(1.0, 0u32);
+/// let mut fired = Vec::new();
+/// while let Some((_, k)) = sim.next_event() {
+///     fired.push(k);
+///     if k < 4 {
+///         sim.schedule_in(1.0, k + 1);
+///     }
+/// }
+/// assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(sim.now().as_secs(), 5.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock — events cannot fire in
+    /// the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after a `delay` in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or non-finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay.is_finite() && delay >= 0.0, "delay must be finite and >= 0");
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its firing time.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+
+    /// Runs events through a handler until the queue drains, returning the
+    /// final clock value. The handler may schedule further events.
+    pub fn run<F>(&mut self, mut handler: F) -> SimTime
+    where
+        F: FnMut(&mut Simulation<E>, SimTime, E),
+    {
+        while let Some((t, e)) = self.next_event() {
+            handler(self, t, e);
+        }
+        self.now
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(2.0, "b");
+        sim.schedule_in(1.0, "a");
+        assert_eq!(sim.pending(), 2);
+        let (t, e) = sim.next_event().unwrap();
+        assert_eq!((t.as_secs(), e), (1.0, "a"));
+        assert_eq!(sim.now().as_secs(), 1.0);
+        let (t, e) = sim.next_event().unwrap();
+        assert_eq!((t.as_secs(), e), (2.0, "b"));
+        assert_eq!(sim.processed(), 2);
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn run_drains_cascading_events() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(0.5, 3u32);
+        let end = sim.run(|sim, _, remaining| {
+            if remaining > 0 {
+                sim.schedule_in(0.5, remaining - 1);
+            }
+        });
+        assert_eq!(end.as_secs(), 2.0);
+        assert_eq!(sim.processed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(1.0, ());
+        sim.next_event();
+        sim.schedule_at(SimTime::from_secs(0.5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_clock() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(1.0, 1);
+        sim.next_event();
+        sim.schedule_in(1.0, 2);
+        let (t, _) = sim.next_event().unwrap();
+        assert_eq!(t.as_secs(), 2.0);
+    }
+}

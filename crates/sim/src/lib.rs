@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation core for the IPSO reproduction.
+//!
+//! The paper's measurements come from Amazon EC2/EMR clusters; this crate
+//! is the foundation of the simulated substitute. It provides:
+//!
+//! * [`time`] — a virtual-clock time type with total ordering;
+//! * [`event`] — a deterministic event queue (FIFO tie-breaking);
+//! * [`engine`] — a thin simulation driver combining clock and queue;
+//! * [`resource`] — FIFO single/multi-server resources for modelling
+//!   serialization points (master NIC, centralized scheduler);
+//! * [`rng`] — seeded random-number helpers so every simulated experiment
+//!   is reproducible run-to-run;
+//! * [`stats`] — online statistics and percentile helpers for metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use ipso_sim::engine::Simulation;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule_in(1.5, Ev::Ping(1));
+//! sim.schedule_in(0.5, Ev::Ping(2));
+//! let (t, ev) = sim.next_event().unwrap();
+//! assert_eq!(ev, Ev::Ping(2));
+//! assert_eq!(t.as_secs(), 0.5);
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod time;
+
+pub use engine::Simulation;
+pub use event::EventQueue;
+pub use resource::{FifoServer, ServerPool};
+pub use rng::SimRng;
+pub use special::{ln_beta, ln_gamma, pareto_expected_max};
+pub use stats::{percentile, OnlineStats};
+pub use time::SimTime;

@@ -1,0 +1,150 @@
+//! Special functions needed by the analytic order statistics.
+//!
+//! The stochastic IPSO model wants `E[max]` of heavy-tailed task times in
+//! closed form. For Pareto variables that expectation is
+//! `scale · n · B(n, 1 − 1/a)`, which needs the log-gamma function; this
+//! module provides a Lanczos approximation accurate to ~1e-13 over the
+//! positive reals.
+
+/// Lanczos coefficients (g = 7, n = 9), Boost/Numerical-Recipes flavour.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// # Panics
+///
+/// Panics for non-positive or non-finite `x` (the reflection formula is
+/// not needed by this crate).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural logarithm of the Beta function `B(a, b)`.
+///
+/// # Panics
+///
+/// Panics unless both arguments are positive and finite.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Expected maximum of `n` i.i.d. Pareto(scale, shape) draws:
+/// `scale · n · B(n, 1 − 1/shape)`, finite for `shape > 1`.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 1`, `scale > 0` and `shape > 1`.
+pub fn pareto_expected_max(scale: f64, shape: f64, n: u32) -> f64 {
+    assert!(n >= 1, "need at least one draw");
+    assert!(scale > 0.0 && shape > 1.0, "pareto mean requires scale > 0, shape > 1");
+    let nf = f64::from(n);
+    scale * nf * (ln_beta(nf, 1.0 - 1.0 / shape)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_matches_factorials() {
+        // Γ(k) = (k−1)!
+        let mut fact = 1.0f64;
+        for k in 1..=15u32 {
+            if k > 1 {
+                fact *= f64::from(k - 1);
+            }
+            let lg = ln_gamma(f64::from(k));
+            assert!((lg - fact.ln()).abs() < 1e-10, "k = {k}: {lg} vs {}", fact.ln());
+        }
+    }
+
+    #[test]
+    fn gamma_half_is_sqrt_pi() {
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // Γ(1.5) = √π/2.
+        assert!(
+            (ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn beta_symmetry_and_known_values() {
+        assert!((ln_beta(2.0, 3.0) - ln_beta(3.0, 2.0)).abs() < 1e-13);
+        // B(2,3) = 1/12.
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-12);
+        // B(1,x) = 1/x.
+        assert!((ln_beta(1.0, 7.5) - (1.0f64 / 7.5).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_max_of_one_is_the_mean() {
+        // E[max of 1] = E[X] = scale·a/(a−1).
+        for shape in [1.5, 2.0, 3.0, 10.0] {
+            let e = pareto_expected_max(2.0, shape, 1);
+            let mean = 2.0 * shape / (shape - 1.0);
+            assert!((e - mean).abs() < 1e-10, "shape {shape}: {e} vs {mean}");
+        }
+    }
+
+    #[test]
+    fn pareto_max_matches_monte_carlo() {
+        use crate::rng::SimRng;
+        let (scale, shape, n) = (1.0, 2.5, 16u32);
+        let analytic = pareto_expected_max(scale, shape, n);
+        let mut rng = SimRng::seed_from(7);
+        let reps = 60_000;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let mut m = 0.0f64;
+            for _ in 0..n {
+                m = m.max(rng.pareto(scale, shape));
+            }
+            total += m;
+        }
+        let mc = total / f64::from(reps);
+        assert!(
+            (analytic - mc).abs() / analytic < 0.02,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn pareto_max_grows_like_n_to_inverse_shape() {
+        // E[max of n] ~ scale·Γ(1−1/a)·n^{1/a} for large n.
+        let shape = 2.0;
+        let e64 = pareto_expected_max(1.0, shape, 64);
+        let e256 = pareto_expected_max(1.0, shape, 256);
+        let ratio = e256 / e64; // ideal 4^{1/2} = 2
+        assert!((ratio - 2.0).abs() < 0.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+}

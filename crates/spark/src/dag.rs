@@ -1,0 +1,299 @@
+//! General stage DAGs (Dryad-style).
+//!
+//! [`run_job`](crate::engine::run_job) executes stages strictly in
+//! sequence — the common Spark shape where each stage consumes its
+//! predecessor's shuffle. Frameworks like Dryad (the paper's reference
+//! \[3\]) schedule general DAGs where *independent* stages run
+//! concurrently on the same executors. [`run_dag`] provides that:
+//! stages are grouped into dependency levels; stages within a level share
+//! the `m` executors (their tasks interleave round-robin into the same
+//! wave schedule), and a barrier separates levels.
+//!
+//! Everything else matches the sequential engine: serialized driver
+//! broadcasts, first-wave costs, memory pressure, incast shuffles, and
+//! the same JSON event log.
+
+use ipso_cluster::{run_wave_schedule, CentralScheduler};
+use ipso_sim::SimRng;
+
+use crate::engine::{SparkRun, INPUT_READ_RATE};
+use crate::eventlog::{write_event_log, SparkEvent};
+use crate::job::SparkJobSpec;
+
+/// Groups the stages of `spec` into dependency levels.
+///
+/// `edges` are `(from, to)` stage-index pairs meaning `to` consumes
+/// `from`'s output. Returns the level of each stage (level 0 has no
+/// dependencies).
+///
+/// # Errors
+///
+/// Rejects out-of-range indices, self-edges and cycles.
+pub fn assign_levels(num_stages: usize, edges: &[(usize, usize)]) -> Result<Vec<usize>, String> {
+    for &(a, b) in edges {
+        if a >= num_stages || b >= num_stages {
+            return Err(format!("edge ({a}, {b}) out of range for {num_stages} stages"));
+        }
+        if a == b {
+            return Err(format!("self-edge on stage {a}"));
+        }
+    }
+    // Longest-path levels via Kahn's algorithm.
+    let mut indegree = vec![0usize; num_stages];
+    for &(_, b) in edges {
+        indegree[b] += 1;
+    }
+    let mut level = vec![0usize; num_stages];
+    let mut queue: Vec<usize> =
+        (0..num_stages).filter(|&s| indegree[s] == 0).collect();
+    let mut visited = 0;
+    while let Some(s) = queue.pop() {
+        visited += 1;
+        for &(a, b) in edges {
+            if a == s {
+                level[b] = level[b].max(level[s] + 1);
+                indegree[b] -= 1;
+                if indegree[b] == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    if visited != num_stages {
+        return Err("stage dependency graph contains a cycle".into());
+    }
+    Ok(level)
+}
+
+/// Executes `spec.stages` as a DAG with the given `(from, to)` edges.
+///
+/// # Errors
+///
+/// Returns DAG validation errors from [`assign_levels`].
+///
+/// # Panics
+///
+/// Panics if `spec` itself fails validation.
+///
+/// # Example
+///
+/// ```
+/// use ipso_spark::{run_dag, run_job, SparkJobSpec, StageSpec};
+///
+/// # fn main() -> Result<(), String> {
+/// // A diamond: two independent 8-task stages feed an aggregation.
+/// let job = SparkJobSpec::emr("diamond", 8, 8)
+///     .stage(StageSpec::new("left", 8).with_task_compute(1.0))
+///     .stage(StageSpec::new("right", 8).with_task_compute(1.0))
+///     .stage(StageSpec::new("join", 4).with_task_compute(0.2));
+/// let dag = run_dag(&job, &[(0, 2), (1, 2)])?;
+/// let chain = run_job(&job); // same stages, forced sequential
+/// assert!(dag.total_time <= chain.total_time);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun, String> {
+    spec.validate()?;
+    let levels = assign_levels(spec.stages.len(), edges)?;
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let m = spec.parallelism;
+    let mut rng =
+        SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
+
+    let mut clock = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut stage_times = vec![0.0f64; spec.stages.len()];
+    let mut events = vec![SparkEvent::ApplicationStart {
+        app_name: spec.name.clone(),
+        timestamp: 0.0,
+    }];
+
+    // Serialized executor launch, as in the sequential engine.
+    let launch = f64::from(m) * spec.executor_launch_cost;
+    clock += launch;
+    overhead += launch;
+
+    for level in 0..=max_level {
+        let members: Vec<usize> =
+            (0..spec.stages.len()).filter(|&s| levels[s] == level).collect();
+        let submitted = clock;
+        for &s in &members {
+            events.push(SparkEvent::StageSubmitted {
+                stage_id: s as u32,
+                stage_name: spec.stages[s].name.clone(),
+                num_tasks: spec.stages[s].tasks,
+                submission_time: submitted,
+            });
+        }
+
+        // Broadcasts of all member stages are serialized at the driver.
+        for &s in &members {
+            let b = spec.network.broadcast_time(spec.stages[s].broadcast_bytes, m);
+            clock += b;
+            overhead += b;
+        }
+
+        // Build the interleaved task list for the level: round-robin over
+        // member stages so concurrent stages share the executors fairly.
+        let mut durations: Vec<f64> = Vec::new();
+        let mut ideal: Vec<f64> = Vec::new();
+        let mut cursors: Vec<u32> = vec![0; members.len()];
+        let mut first_wave_budget = m.min(
+            members.iter().map(|&s| spec.stages[s].tasks).sum::<u32>(),
+        ) as usize;
+        loop {
+            let mut emitted = false;
+            for (mi, &s) in members.iter().enumerate() {
+                let stage = &spec.stages[s];
+                if cursors[mi] < stage.tasks {
+                    cursors[mi] += 1;
+                    emitted = true;
+                    let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
+                    let working_set = if stage.caches_input {
+                        (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
+                    } else {
+                        stage.input_bytes_per_task
+                    };
+                    let mem_mult = if working_set > spec.executor_memory {
+                        spec.spill_slowdown
+                    } else {
+                        1.0
+                    };
+                    let base = stage.task_compute
+                        + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+                    let fw = if first_wave_budget > 0 {
+                        first_wave_budget -= 1;
+                        spec.first_wave_cost
+                    } else {
+                        0.0
+                    };
+                    durations
+                        .push(base * mem_mult * spec.straggler.multiplier(&mut rng) + fw);
+                    ideal.push(base * mem_mult);
+                }
+            }
+            if !emitted {
+                break;
+            }
+        }
+
+        if !durations.is_empty() {
+            let schedule = run_wave_schedule(&durations, m as usize, &spec.scheduler);
+            let ideal_makespan =
+                run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
+            overhead += (schedule.makespan - ideal_makespan).max(0.0);
+            clock += schedule.makespan;
+        }
+
+        // Combined shuffle of the level: all member outputs contend for
+        // the receivers.
+        let total_shuffle: u64 =
+            members.iter().map(|&s| spec.stages[s].total_shuffle_output()).sum();
+        if total_shuffle > 0 {
+            let per_receiver = total_shuffle as f64 / m as f64;
+            clock += per_receiver / spec.network.incast_goodput(m);
+        }
+
+        for &s in &members {
+            stage_times[s] = clock - submitted;
+            events.push(SparkEvent::StageCompleted {
+                stage_id: s as u32,
+                stage_name: spec.stages[s].name.clone(),
+                num_tasks: spec.stages[s].tasks,
+                submission_time: submitted,
+                completion_time: clock,
+            });
+        }
+    }
+
+    events.push(SparkEvent::ApplicationEnd { timestamp: clock });
+    let log = write_event_log(&events).expect("event log serialization cannot fail");
+    Ok(SparkRun { total_time: clock, stage_times, overhead_time: overhead, log })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_job;
+    use crate::stage::StageSpec;
+    use ipso_cluster::StragglerModel;
+
+    fn job3() -> SparkJobSpec {
+        let mut j = SparkJobSpec::emr("dag", 8, 8)
+            .stage(StageSpec::new("a", 8).with_task_compute(1.0))
+            .stage(StageSpec::new("b", 8).with_task_compute(1.0))
+            .stage(StageSpec::new("c", 4).with_task_compute(0.2));
+        j.straggler = StragglerModel::None;
+        j.first_wave_cost = 0.0;
+        j.executor_launch_cost = 0.0;
+        j
+    }
+
+    #[test]
+    fn levels_for_chain_and_diamond() {
+        assert_eq!(assign_levels(3, &[(0, 1), (1, 2)]).unwrap(), vec![0, 1, 2]);
+        assert_eq!(assign_levels(3, &[(0, 2), (1, 2)]).unwrap(), vec![0, 0, 1]);
+        assert_eq!(assign_levels(1, &[]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn cycles_and_bad_edges_rejected() {
+        assert!(assign_levels(2, &[(0, 1), (1, 0)]).is_err());
+        assert!(assign_levels(2, &[(0, 5)]).is_err());
+        assert!(assign_levels(2, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn chain_dag_matches_sequential_engine() {
+        let j = job3();
+        let chain = run_dag(&j, &[(0, 1), (1, 2)]).unwrap();
+        let seq = run_job(&j);
+        assert!(
+            (chain.total_time - seq.total_time).abs() < 0.05 * seq.total_time,
+            "chain {} vs sequential {}",
+            chain.total_time,
+            seq.total_time
+        );
+    }
+
+    #[test]
+    fn diamond_is_faster_than_chain() {
+        let j = job3();
+        let diamond = run_dag(&j, &[(0, 2), (1, 2)]).unwrap();
+        let chain = run_dag(&j, &[(0, 1), (1, 2)]).unwrap();
+        // Stages a and b share the executors concurrently; the level takes
+        // as long as both together (16 tasks on 8 executors = 2 waves),
+        // same wall-clock work but one less barrier/dispatch round.
+        assert!(diamond.total_time <= chain.total_time + 1e-9);
+    }
+
+    #[test]
+    fn independent_stages_share_executors_fairly() {
+        // Two independent 4-task stages on 8 executors: a single wave.
+        let mut j = SparkJobSpec::emr("fair", 4, 8)
+            .stage(StageSpec::new("x", 4).with_task_compute(1.0))
+            .stage(StageSpec::new("y", 4).with_task_compute(1.0));
+        j.straggler = StragglerModel::None;
+        j.first_wave_cost = 0.0;
+        j.executor_launch_cost = 0.0;
+        let run = run_dag(&j, &[]).unwrap();
+        assert!((1.0..1.2).contains(&run.total_time), "t = {}", run.total_time);
+    }
+
+    #[test]
+    fn event_log_contains_all_stages_with_levels() {
+        let j = job3();
+        let run = run_dag(&j, &[(0, 2), (1, 2)]).unwrap();
+        let (stages, _) = crate::eventlog::parse_event_log(&run.log).unwrap();
+        assert_eq!(stages.len(), 3);
+        // a and b complete together; c strictly later.
+        assert_eq!(run.stage_times.len(), 3);
+        assert!(run.stage_times[2] < run.stage_times[0]);
+    }
+
+    #[test]
+    fn dag_runs_are_deterministic() {
+        let j = job3();
+        assert_eq!(run_dag(&j, &[(0, 2)]).unwrap(), run_dag(&j, &[(0, 2)]).unwrap());
+    }
+}

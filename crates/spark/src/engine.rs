@@ -1,0 +1,299 @@
+//! Stage-DAG execution.
+
+use ipso_cluster::run_wave_schedule;
+use ipso_cluster::CentralScheduler;
+use ipso_sim::SimRng;
+
+use crate::eventlog::{write_event_log, SparkEvent};
+use crate::job::SparkJobSpec;
+
+/// Read rate for task input, bytes/s (cached partitions / local HDFS
+/// blocks stream at roughly memory-page-cache speed on m4-class nodes).
+pub(crate) const INPUT_READ_RATE: f64 = 150.0e6;
+
+/// The result of one Spark-like job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparkRun {
+    /// Total wall-clock time, seconds.
+    pub total_time: f64,
+    /// Per-stage wall-clock latencies, in DAG order.
+    pub stage_times: Vec<f64>,
+    /// Scale-out-induced portion: broadcasts, dispatch serialization,
+    /// first-wave deserialization, barrier skew — seconds.
+    pub overhead_time: f64,
+    /// The Spark-style JSON event log of the run.
+    pub log: String,
+}
+
+impl SparkRun {
+    /// Fraction of wall-clock time that is scale-out-induced overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.overhead_time / self.total_time
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Executes the job's stage DAG on `m` executors.
+///
+/// Per stage, in order:
+///
+/// 0. the driver launches the `m` executors serially (overhead linear
+///    in `m`);
+/// 1. the driver broadcasts `broadcast_bytes` to each executor *serially*
+///    (the \[12\] bottleneck) — pure scale-out-induced time;
+/// 2. tasks are dispatched centrally and run in waves; tasks of the first
+///    wave pay the executor's one-time deserialization cost;
+/// 3. tasks whose executor working set (cached partitions × tasks per
+///    executor) exceeds executor memory run `spill_slowdown`× slower;
+/// 4. the stage's shuffle output is redistributed m-to-m with the incast
+///    goodput penalty at each receiver.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation.
+pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
+    spec.validate().expect("invalid spark job spec");
+    let m = spec.parallelism;
+    let mut rng = SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
+
+    let mut clock = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut stage_times = Vec::with_capacity(spec.stages.len());
+    let mut events = vec![SparkEvent::ApplicationStart {
+        app_name: spec.name.clone(),
+        timestamp: 0.0,
+    }];
+
+    // Executor launch is serialized at the driver: pure scale-out-induced
+    // time linear in m (the driver registers one container at a time).
+    let launch = f64::from(m) * spec.executor_launch_cost;
+    clock += launch;
+    overhead += launch;
+
+    for (stage_id, stage) in spec.stages.iter().enumerate() {
+        let submitted = clock;
+        events.push(SparkEvent::StageSubmitted {
+            stage_id: stage_id as u32,
+            stage_name: stage.name.clone(),
+            num_tasks: stage.tasks,
+            submission_time: submitted,
+        });
+
+        // 1. Driver broadcast (serialized unicasts).
+        let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
+        clock += broadcast;
+        overhead += broadcast;
+
+        // 3. Memory pressure: tasks per executor × cached partition size.
+        let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
+        let working_set = if stage.caches_input {
+            (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
+        } else {
+            stage.input_bytes_per_task
+        };
+        let mem_mult =
+            if working_set > spec.executor_memory { spec.spill_slowdown } else { 1.0 };
+
+        // 2. Task durations with first-wave cost and straggler noise.
+        let base = stage.task_compute
+            + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+        let first_wave = m.min(stage.tasks) as usize;
+        let durations: Vec<f64> = (0..stage.tasks as usize)
+            .map(|i| {
+                let fw = if i < first_wave { spec.first_wave_cost } else { 0.0 };
+                base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
+            })
+            .collect();
+        let schedule = run_wave_schedule(&durations, m as usize, &spec.scheduler);
+
+        // The overhead share of the split phase: actual makespan minus an
+        // idealized schedule with free dispatch and no first-wave cost.
+        let ideal: Vec<f64> = (0..stage.tasks as usize)
+            .map(|_| base * mem_mult)
+            .collect();
+        let ideal_makespan =
+            run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
+        overhead += (schedule.makespan - ideal_makespan).max(0.0);
+        clock += schedule.makespan;
+
+        // 4. Shuffle boundary: each of the m receivers pulls total/m bytes
+        // at incast-degraded goodput.
+        if stage.shuffle_output_per_task > 0 {
+            let total = stage.total_shuffle_output();
+            let per_receiver = total as f64 / m as f64;
+            let shuffle = per_receiver / spec.network.incast_goodput(m);
+            clock += shuffle;
+        }
+
+        let stage_time = clock - submitted;
+        stage_times.push(stage_time);
+        events.push(SparkEvent::StageCompleted {
+            stage_id: stage_id as u32,
+            stage_name: stage.name.clone(),
+            num_tasks: stage.tasks,
+            submission_time: submitted,
+            completion_time: clock,
+        });
+    }
+
+    events.push(SparkEvent::ApplicationEnd { timestamp: clock });
+    let log = write_event_log(&events).expect("event log serialization cannot fail");
+    SparkRun { total_time: clock, stage_times, overhead_time: overhead, log }
+}
+
+/// The sequential execution reference (speedup numerator): the whole
+/// workload streamed through one processing unit — no broadcast, no
+/// dispatch, no first-wave cost, no stragglers (mean multiplier), no
+/// cache spill (partitions are processed one at a time), shuffle data
+/// repartitioned at local rates.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation.
+pub fn run_sequential_reference(spec: &SparkJobSpec) -> f64 {
+    spec.validate().expect("invalid spark job spec");
+    let mean_mult = spec.straggler.mean_multiplier();
+    let mut total = 0.0;
+    for stage in &spec.stages {
+        let base = stage.task_compute
+            + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+        total += stage.tasks as f64 * base * mean_mult;
+        if stage.shuffle_output_per_task > 0 {
+            // Local repartition at worker disk speed.
+            total += stage.total_shuffle_output() as f64 / spec.cluster.worker.disk_bandwidth;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eventlog::parse_event_log;
+    use crate::stage::StageSpec;
+    use ipso_cluster::StragglerModel;
+
+    fn simple_job(n_tasks: u32, m: u32) -> SparkJobSpec {
+        SparkJobSpec::emr("test", n_tasks, m)
+            .stage(StageSpec::new("map", n_tasks).with_task_compute(1.0))
+    }
+
+    #[test]
+    fn single_stage_wall_clock_is_waves() {
+        let mut job = simple_job(8, 4);
+        job.straggler = StragglerModel::None;
+        job.first_wave_cost = 0.0;
+        job.executor_launch_cost = 0.0;
+        let run = run_job(&job);
+        // Two waves of 1 s tasks plus small dispatch.
+        assert!((2.0..2.3).contains(&run.total_time), "t = {}", run.total_time);
+    }
+
+    #[test]
+    fn sequential_reference_sums_all_tasks() {
+        let mut job = simple_job(8, 4);
+        job.straggler = StragglerModel::None;
+        let t = run_sequential_reference(&job);
+        assert!((t - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_counts_as_overhead() {
+        let mut job = SparkJobSpec::emr("bcast", 4, 4).stage(
+            StageSpec::new("iter", 4).with_task_compute(0.5).with_broadcast(50 * 1024 * 1024),
+        );
+        job.straggler = StragglerModel::None;
+        let run = run_job(&job);
+        // 4 serialized 50 MB unicasts at 250 MB/s ≈ 0.8 s.
+        assert!(run.overhead_time > 0.7, "overhead = {}", run.overhead_time);
+        assert!(run.overhead_fraction() > 0.3);
+    }
+
+    #[test]
+    fn broadcast_overhead_grows_linearly_with_m() {
+        let mk = |m: u32| {
+            let mut j = SparkJobSpec::emr("bcast", m, m).stage(
+                StageSpec::new("iter", m).with_task_compute(0.5).with_broadcast(20 * 1024 * 1024),
+            );
+            j.straggler = StragglerModel::None;
+            j.first_wave_cost = 0.0;
+            j
+        };
+        let o10 = run_job(&mk(10)).overhead_time;
+        let o40 = run_job(&mk(40)).overhead_time;
+        assert!(o40 > 3.5 * o10 && o40 < 4.5 * o10, "o10 = {o10}, o40 = {o40}");
+    }
+
+    #[test]
+    fn memory_pressure_slows_overloaded_executors() {
+        let mk = |load: u32| {
+            let m = 4;
+            let n = m * load;
+            let mut j = SparkJobSpec::emr("mem", n, m).stage(
+                StageSpec::new("train", n)
+                    .with_task_compute(1.0)
+                    .with_input_bytes(1024 * 1024 * 1024)
+                    .with_cached_input(true),
+            );
+            j.straggler = StragglerModel::None;
+            j.first_wave_cost = 0.0;
+            j
+        };
+        // Load 2: 2 GiB cached per executor — fits in 4 GiB. Load 8: 8 GiB
+        // — spills.
+        let fit = run_job(&mk(2));
+        let spill = run_job(&mk(8));
+        let per_task_fit = fit.total_time / 2.0;
+        let per_task_spill = spill.total_time / 8.0;
+        assert!(per_task_spill > 1.4 * per_task_fit);
+    }
+
+    #[test]
+    fn event_log_reflects_stages() {
+        let mut job = simple_job(4, 2)
+            .stage(StageSpec::new("agg", 2).with_task_compute(0.2));
+        job.executor_launch_cost = 0.0;
+        let run = run_job(&job);
+        let (stages, duration) = parse_event_log(&run.log).unwrap();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].stage_name, "map");
+        assert_eq!(stages[1].stage_name, "agg");
+        let sum: f64 = stages.iter().map(|s| s.latency).sum();
+        assert!((sum - run.total_time).abs() < 1e-9);
+        assert_eq!(duration, Some(run.total_time));
+    }
+
+    #[test]
+    fn executor_launch_is_linear_overhead() {
+        let mk = |m: u32| {
+            let mut j = simple_job(m, m);
+            j.straggler = StragglerModel::None;
+            j.first_wave_cost = 0.0;
+            j
+        };
+        let o8 = run_job(&mk(8)).overhead_time;
+        let o64 = run_job(&mk(64)).overhead_time;
+        assert!(o64 > 6.0 * o8, "launch overhead should grow ~linearly: {o8} -> {o64}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let job = simple_job(16, 4);
+        assert_eq!(run_job(&job), run_job(&job));
+    }
+
+    #[test]
+    fn shuffle_adds_boundary_time() {
+        let mut with = SparkJobSpec::emr("s", 8, 4).stage(
+            StageSpec::new("map", 8).with_task_compute(0.5).with_shuffle_output(20 * 1024 * 1024),
+        );
+        with.straggler = StragglerModel::None;
+        let mut without = SparkJobSpec::emr("s", 8, 4)
+            .stage(StageSpec::new("map", 8).with_task_compute(0.5));
+        without.straggler = StragglerModel::None;
+        assert!(run_job(&with).total_time > run_job(&without).total_time + 0.5);
+    }
+}

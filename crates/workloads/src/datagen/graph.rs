@@ -1,0 +1,72 @@
+//! Random directed graphs for the NWeight workload.
+
+use ipso_sim::SimRng;
+
+/// A weighted directed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: u32,
+    /// Destination vertex.
+    pub dst: u32,
+    /// Edge weight in `(0, 1]`.
+    pub weight: f64,
+}
+
+/// Generates a random directed graph with `vertices` vertices and
+/// `out_degree` out-edges per vertex (no self-loops; parallel edges
+/// possible, as in the HiBench generator).
+pub fn random_graph(vertices: u32, out_degree: u32, rng: &mut SimRng) -> Vec<Edge> {
+    assert!(vertices >= 2, "graph needs at least two vertices");
+    let mut edges = Vec::with_capacity((vertices * out_degree) as usize);
+    for src in 0..vertices {
+        for _ in 0..out_degree {
+            let mut dst = rng.index(vertices as usize) as u32;
+            if dst == src {
+                dst = (dst + 1) % vertices;
+            }
+            edges.push(Edge { src, dst, weight: rng.uniform(0.05, 1.0) });
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_expected_shape() {
+        let mut rng = SimRng::seed_from(13);
+        let edges = random_graph(50, 4, &mut rng);
+        assert_eq!(edges.len(), 200);
+        for e in &edges {
+            assert!(e.src < 50 && e.dst < 50);
+            assert_ne!(e.src, e.dst, "self loop");
+            assert!((0.05..=1.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn every_vertex_has_out_edges() {
+        let mut rng = SimRng::seed_from(14);
+        let edges = random_graph(30, 3, &mut rng);
+        for v in 0..30u32 {
+            assert_eq!(edges.iter().filter(|e| e.src == v).count(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn tiny_graph_rejected() {
+        let mut rng = SimRng::seed_from(1);
+        let _ = random_graph(1, 1, &mut rng);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let mut a = SimRng::seed_from(15);
+        let mut b = SimRng::seed_from(15);
+        assert_eq!(random_graph(10, 2, &mut a), random_graph(10, 2, &mut b));
+    }
+}

@@ -1,0 +1,74 @@
+//! Labeled feature vectors for the ML benchmarks.
+
+use ipso_sim::SimRng;
+
+/// A labeled point, as produced by the HiBench ML data generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    /// Class label (`0` or `1` for the binary benchmarks).
+    pub label: u32,
+    /// Dense feature vector.
+    pub features: Vec<f64>,
+}
+
+impl LabeledPoint {
+    /// Serialized size: 4-byte label plus 8 bytes per feature.
+    pub fn byte_size(&self) -> u64 {
+        4 + 8 * self.features.len() as u64
+    }
+}
+
+/// Generates `count` points of `dims` features from two linearly
+/// separable-ish Gaussian-like blobs (label 0 centred at −1, label 1 at
+/// +1, uniform noise of width 2), matching what the HiBench generators
+/// feed the classifiers.
+pub fn random_points(count: usize, dims: usize, rng: &mut SimRng) -> Vec<LabeledPoint> {
+    (0..count)
+        .map(|i| {
+            let label = (i % 2) as u32;
+            let centre = if label == 0 { -1.0 } else { 1.0 };
+            let features =
+                (0..dims).map(|_| centre + rng.uniform(-1.0, 1.0)).collect();
+            LabeledPoint { label, features }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_have_requested_shape() {
+        let mut rng = SimRng::seed_from(7);
+        let pts = random_points(40, 8, &mut rng);
+        assert_eq!(pts.len(), 40);
+        assert!(pts.iter().all(|p| p.features.len() == 8));
+        assert_eq!(pts.iter().filter(|p| p.label == 0).count(), 20);
+    }
+
+    #[test]
+    fn blobs_are_separated_on_average() {
+        let mut rng = SimRng::seed_from(8);
+        let pts = random_points(2000, 4, &mut rng);
+        let mean = |label: u32| -> f64 {
+            let sel: Vec<&LabeledPoint> = pts.iter().filter(|p| p.label == label).collect();
+            sel.iter().map(|p| p.features[0]).sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean(0) < -0.8);
+        assert!(mean(1) > 0.8);
+    }
+
+    #[test]
+    fn byte_size_counts_features() {
+        let p = LabeledPoint { label: 1, features: vec![0.0; 10] };
+        assert_eq!(p.byte_size(), 84);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let mut a = SimRng::seed_from(11);
+        let mut b = SimRng::seed_from(11);
+        assert_eq!(random_points(5, 3, &mut a), random_points(5, 3, &mut b));
+    }
+}

@@ -1,0 +1,84 @@
+//! User×item rating triples for Collaborative Filtering.
+
+use ipso_sim::SimRng;
+
+/// One observed rating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+    /// Rating value in `[1, 5]`.
+    pub value: f64,
+}
+
+/// Generates `count` ratings over a `users × items` matrix. Each rating
+/// is generated from latent one-dimensional user/item affinities plus
+/// noise, so a factorization model genuinely has structure to recover.
+pub fn random_ratings(users: u32, items: u32, count: usize, rng: &mut SimRng) -> Vec<Rating> {
+    assert!(users > 0 && items > 0, "matrix must be non-empty");
+    // Latent affinities in [0, 1].
+    let u_affinity: Vec<f64> = (0..users).map(|_| rng.uniform(0.0, 1.0)).collect();
+    let i_affinity: Vec<f64> = (0..items).map(|_| rng.uniform(0.0, 1.0)).collect();
+    (0..count)
+        .map(|_| {
+            let user = rng.index(users as usize) as u32;
+            let item = rng.index(items as usize) as u32;
+            let signal = 1.0 + 4.0 * u_affinity[user as usize] * i_affinity[item as usize];
+            let value = (signal + rng.uniform(-0.5, 0.5)).clamp(1.0, 5.0);
+            Rating { user, item, value }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_are_in_range() {
+        let mut rng = SimRng::seed_from(21);
+        for r in random_ratings(50, 80, 1000, &mut rng) {
+            assert!(r.user < 50);
+            assert!(r.item < 80);
+            assert!((1.0..=5.0).contains(&r.value));
+        }
+    }
+
+    #[test]
+    fn ratings_have_latent_structure() {
+        // Ratings correlate with the product of latent affinities, so the
+        // per-user mean rating should vary across users.
+        let mut rng = SimRng::seed_from(22);
+        let ratings = random_ratings(20, 20, 4000, &mut rng);
+        let mut user_means = Vec::new();
+        for u in 0..20u32 {
+            let rs: Vec<f64> =
+                ratings.iter().filter(|r| r.user == u).map(|r| r.value).collect();
+            if !rs.is_empty() {
+                user_means.push(rs.iter().sum::<f64>() / rs.len() as f64);
+            }
+        }
+        let max = user_means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = user_means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.5, "means too uniform: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_matrix_rejected() {
+        let mut rng = SimRng::seed_from(1);
+        let _ = random_ratings(0, 5, 10, &mut rng);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let mut a = SimRng::seed_from(33);
+        let mut b = SimRng::seed_from(33);
+        assert_eq!(
+            random_ratings(10, 10, 50, &mut a),
+            random_ratings(10, 10, 50, &mut b)
+        );
+    }
+}

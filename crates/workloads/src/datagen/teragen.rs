@@ -1,0 +1,70 @@
+//! TeraGen-style records.
+//!
+//! The official terabyte-sort input consists of 100-byte records: a
+//! 10-byte binary key followed by 90 bytes of payload
+//! (O'Malley, "Terabyte sort on Apache Hadoop").
+
+use ipso_sim::SimRng;
+
+/// Serialized size of one record.
+pub const TERA_RECORD_BYTES: u64 = 100;
+
+/// One TeraGen record.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TeraRecord {
+    /// 10-byte sort key.
+    pub key: [u8; 10],
+    /// Row id (stands in for the 90-byte payload; the payload content
+    /// never affects the computation).
+    pub row: u64,
+}
+
+/// Generates `count` records with uniformly random keys.
+pub fn teragen_records(count: usize, rng: &mut SimRng) -> Vec<TeraRecord> {
+    (0..count)
+        .map(|row| {
+            let mut key = [0u8; 10];
+            for b in &mut key {
+                *b = rng.index(256) as u8;
+            }
+            TeraRecord { key, row: row as u64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_have_distinct_rows() {
+        let mut rng = SimRng::seed_from(3);
+        let rs = teragen_records(100, &mut rng);
+        assert_eq!(rs.len(), 100);
+        let rows: std::collections::HashSet<u64> = rs.iter().map(|r| r.row).collect();
+        assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn keys_are_spread() {
+        let mut rng = SimRng::seed_from(4);
+        let rs = teragen_records(1000, &mut rng);
+        let first_bytes: std::collections::HashSet<u8> = rs.iter().map(|r| r.key[0]).collect();
+        // 1000 uniform draws should hit many of the 256 buckets.
+        assert!(first_bytes.len() > 200, "only {} buckets", first_bytes.len());
+    }
+
+    #[test]
+    fn records_sort_by_key_then_row() {
+        let a = TeraRecord { key: [0; 10], row: 5 };
+        let b = TeraRecord { key: [1; 10], row: 0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        assert_eq!(teragen_records(10, &mut r1), teragen_records(10, &mut r2));
+    }
+}

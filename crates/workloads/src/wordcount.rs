@@ -1,0 +1,174 @@
+//! WordCount (HiBench micro benchmark; paper Fig. 4b).
+//!
+//! Random dictionary text is tokenized and counted. The map-side combiner
+//! collapses each task's output to at most one entry per dictionary word,
+//! so the intermediate data is bounded (~1000 entries) no matter how many
+//! shards are processed: the serial portion is dominated by the constant
+//! reducer setup and the paper measures `IN(n) ≈ 1` — a benign It/IIt
+//! scaling type.
+
+use ipso_mapreduce::{
+    InputSplit, JobCostModel, JobSpec, Mapper, OutputScaling, Reducer, ScalingSweep,
+};
+use ipso_sim::SimRng;
+
+use crate::datagen::random_lines;
+
+/// Nominal HDFS shard per map task (the paper's maximal block size).
+pub const SHARD_BYTES: u64 = 128 * 1024 * 1024;
+/// Lines of sample text actually executed per task.
+const SAMPLE_LINES: usize = 250;
+/// Words per generated line.
+const WORDS_PER_LINE: usize = 8;
+
+/// Tokenizing mapper with a summing combiner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCountMapper;
+
+impl Mapper for WordCountMapper {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        for word in line.split_whitespace() {
+            emit(word.to_string(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+
+    fn output_scaling(&self) -> OutputScaling {
+        OutputScaling::Saturating
+    }
+}
+
+/// Count-summing reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCountReducer;
+
+impl Reducer for WordCountReducer {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+
+    fn reduce(&self, key: &String, values: &[u64], emit: &mut dyn FnMut((String, u64))) {
+        emit((key.clone(), values.iter().sum()));
+    }
+}
+
+/// Cost calibration: WordCount is CPU-bound on the map side (JVM
+/// tokenization of a 128 MB block takes ~13 s, matching 2019-era Hadoop)
+/// with negligible reduce-side data.
+pub fn cost_model() -> JobCostModel {
+    JobCostModel {
+        map_rate: 10.0e6,
+        shuffle_rate: 200.0e6,
+        merge_rate: 200.0e6,
+        reduce_rate: 200.0e6,
+        seq_init: 2.0,
+        serial_setup: 1.0,
+    }
+}
+
+/// The job spec at scale-out degree `n`.
+pub fn job_spec(n: u32) -> JobSpec {
+    let mut spec = JobSpec::emr("wordcount", n);
+    spec.cost = cost_model();
+    spec
+}
+
+/// The `n` fixed-time splits: one 128 MB shard of dictionary text per
+/// task, sampled down for execution.
+pub fn make_splits(n: u32, seed: u64) -> Vec<InputSplit<String>> {
+    (0..n)
+        .map(|task| {
+            let mut rng = SimRng::seed_from(seed ^ (u64::from(task) << 20) ^ 0x57c0);
+            let lines = random_lines(SAMPLE_LINES, WORDS_PER_LINE, &mut rng);
+            let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+            InputSplit::new(lines, bytes, SHARD_BYTES)
+        })
+        .collect()
+}
+
+/// Runs the full paper sweep for WordCount.
+pub fn sweep(ns: &[u32]) -> ScalingSweep {
+    ScalingSweep::run(
+        ns,
+        &WordCountMapper,
+        &WordCountReducer,
+        job_spec,
+        |n| make_splits(n, 1),
+        |n| make_splits(n, 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact() {
+        use ipso_mapreduce::run_sequential;
+        let splits = make_splits(2, 7);
+        let expected: u64 = splits.iter().map(|s| s.records.len() as u64 * 8).sum();
+        let run = run_sequential(&job_spec(2), &WordCountMapper, &WordCountReducer, &splits);
+        let total: u64 = run.output.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, expected);
+        // Every key is a dictionary word.
+        let dict: std::collections::HashSet<String> =
+            crate::datagen::unix_dictionary().into_iter().collect();
+        assert!(run.output.iter().all(|(w, _)| dict.contains(w)));
+    }
+
+    #[test]
+    fn intermediate_data_saturates() {
+        use ipso_mapreduce::run_scale_out;
+        let r4 = run_scale_out(&job_spec(4), &WordCountMapper, &WordCountReducer, &make_splits(4, 1));
+        let r8 = run_scale_out(&job_spec(8), &WordCountMapper, &WordCountReducer, &make_splits(8, 1));
+        // Reduce input grows at most linearly in tasks with a tiny
+        // per-task bound (1000 dictionary entries).
+        assert!(r8.reduce_input_bytes < 2 * r4.reduce_input_bytes + 1024);
+        assert!(r8.reduce_input_bytes < 8 * 1000 * 20);
+    }
+
+    #[test]
+    fn speedup_is_near_gustafson() {
+        let sweep = sweep(&[1, 2, 4, 8, 16, 32]);
+        let curve = sweep.speedup_curve().unwrap();
+        let s32 = curve.points().last().unwrap().speedup;
+        let eta = sweep.measurements()[0].seq_parallel_work
+            / (sweep.measurements()[0].seq_parallel_work
+                + sweep.measurements()[0].seq_serial_work);
+        let gustafson = eta * 32.0 + (1.0 - eta);
+        // Close to Gustafson's prediction — the benign case. The gap
+        // (straggler E[max] and job-setup excess) matches the slight
+        // shortfall visible in the paper's Fig. 4b data points.
+        assert!(
+            (s32 - gustafson).abs() / gustafson < 0.3,
+            "S(32) = {s32}, Gustafson = {gustafson}"
+        );
+        // And growth stays near-linear.
+        let s16 = curve.points()[4].speedup;
+        assert!(s32 / s16 > 1.6, "S(32)/S(16) = {}", s32 / s16);
+    }
+
+    #[test]
+    fn internal_scaling_is_flat() {
+        use ipso::estimate::{estimate_factors, FactorShape};
+        let sweep = sweep(&[1, 2, 4, 8, 12, 16]);
+        let est = estimate_factors(&sweep.measurements()).unwrap();
+        // IN(n) ≈ 1 as in the paper (constant, or linear with a tiny
+        // slope relative to the intercept).
+        match est.internal.shape {
+            FactorShape::Constant => {}
+            FactorShape::Linear => {
+                let at16 = est.internal.factor.eval(16.0) / est.internal.factor.eval(1.0);
+                assert!(at16 < 1.6, "IN(16) = {at16}");
+            }
+            other => panic!("unexpected IN shape {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Measurement-based capacity planning: profile a job at a few small
+//! cluster sizes, fit IPSO, and choose how many nodes to buy.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use ipso::predict::ScalingPredictor;
+use ipso::provision::{CostModel, Provisioner};
+use ipso_workloads::terasort;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Profile runs: the expensive part you'd do once, at small scale.
+    println!("profiling terasort at n = 1..16 on the simulated cluster…");
+    let sweep = terasort::sweep(&[1, 2, 4, 6, 8, 10, 12, 16]);
+    let measurements = sweep.measurements();
+
+    // Fit IPSO on the profile.
+    let predictor = ScalingPredictor::fit(&measurements, 16)?;
+    let est = predictor.estimates();
+    println!(
+        "fitted: eta = {:.3}, IN shape = {:?}, q shape = {:?}\n",
+        est.eta, est.internal.shape, est.induced.shape
+    );
+
+    // Ask provisioning questions against 2019 EC2 pricing.
+    let t1 = measurements[0].sequential_time();
+    let provisioner = Provisioner::new(predictor.model().clone(), t1, CostModel::default())?;
+
+    println!("{:>5} {:>9} {:>11} {:>10} {:>12}", "n", "speedup", "job time s", "cost $", "S per $");
+    for n in [1u32, 5, 10, 20, 40, 80, 120, 160, 200] {
+        let p = provisioner.evaluate(n)?;
+        println!(
+            "{:>5} {:>9.2} {:>11.1} {:>10.4} {:>12.1}",
+            p.n, p.speedup, p.job_time, p.job_cost, p.speedup_per_dollar
+        );
+    }
+
+    let fastest = provisioner.fastest(200)?;
+    let efficient = provisioner.most_efficient(200)?;
+    let knee = provisioner.knee(0.9, 200)?;
+    println!("\nrecommendations:");
+    println!("  minimize wall-clock : n = {} (S = {:.2})", fastest.n, fastest.speedup);
+    println!("  maximize S per $    : n = {} (S = {:.2}, ${:.4})", efficient.n, efficient.speedup, efficient.job_cost);
+    println!("  90%-of-peak knee    : n = {} (S = {:.2})", knee.n, knee.speedup);
+
+    let deadline = t1 / 2.5;
+    match provisioner.cheapest_meeting_deadline(deadline, 200)? {
+        Some(p) => println!(
+            "  meet {deadline:.0}s deadline : n = {} (time {:.1}s, ${:.4})",
+            p.n, p.job_time, p.job_cost
+        ),
+        None => println!("  meet {deadline:.0}s deadline : impossible below n = 200 — the speedup is bounded"),
+    }
+    println!(
+        "\nBecause this workload is type IIIt,1 (in-proportion scaling), its speedup is\n\
+         bounded: past the knee every extra node is wasted money. Gustafson's law would\n\
+         have told you to keep buying."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Modeling an iterative ML job with the multi-round IPSO extension
+//! (paper Section III), plus the sensitivity analysis that tells you
+//! which scaling parameter to measure carefully.
+//!
+//! ```text
+//! cargo run --release --example iterative_ml
+//! ```
+
+use ipso::multiround::{MultiRoundJob, Round};
+use ipso::sensitivity::sensitivity;
+use ipso::{AsymptoticParams, ScalingFactor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ALS-style job: each of three iterations alternates two
+    // broadcast-then-map rounds (the paper's Collaborative Filtering
+    // structure), plus a final fixed-time evaluation round with a real
+    // merge.
+    let mut rounds = Vec::new();
+    for iter in 0..3 {
+        for half in ["users", "items"] {
+            rounds.push(
+                Round::fixed_size(&format!("iter{iter}-{half}"), 260.0, 0.0)
+                    .with_induced(ScalingFactor::induced(1.0 / 3600.0, 2.0)),
+            );
+        }
+    }
+    // The final evaluation pass scores the fixed model over the fixed
+    // test set — also fixed-size, with a real serial merge.
+    rounds.push(Round::fixed_size("evaluate", 120.0, 25.0));
+    let job = MultiRoundJob::new(rounds)?;
+
+    println!("aggregate eta = {:.3}", job.eta());
+    println!("\n{:>5} {:>10} {:>12} {:>12}", "n", "speedup", "seq time s", "par time s");
+    for n in [1u32, 10, 30, 60, 90, 120, 180] {
+        let nf = f64::from(n);
+        println!(
+            "{:>5} {:>10.2} {:>12.1} {:>12.1}",
+            n,
+            job.speedup(nf)?,
+            job.sequential_time(nf),
+            job.parallel_time(nf)?
+        );
+    }
+    let (n_peak, s_peak) = job.peak_speedup(300)?;
+    println!(
+        "\npeak: S({n_peak}) = {s_peak:.1} — past it, every broadcast round's linear\n\
+         cost outgrows the shrinking per-node work (type IVs)"
+    );
+
+    // Which parameter controls the fate of this job? Approximate the
+    // aggregate asymptotically and ask the sensitivity analysis.
+    let params = AsymptoticParams::new(job.eta(), 1.0, 0.0, 1.0 / 3600.0, 2.0)?;
+    let sens = sensitivity(&params, f64::from(n_peak))?;
+    println!(
+        "\nsensitivities at the peak: eta {:+.2}, alpha {:+.2}, delta {:+.2}, \
+         beta {:+.2}, gamma {:+.2}",
+        sens.eta, sens.alpha, sens.delta, sens.beta, sens.gamma
+    );
+    println!("dominant parameter: {} — spend measurement effort there first", sens.dominant());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build IPSO models, evaluate speedups, and classify
+//! scaling behaviours.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ipso::classic;
+use ipso::taxonomy::{classify, WorkloadType};
+use ipso::{AsymptoticParams, IpsoModel, ScalingFactor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. The classic laws are IPSO special cases ──────────────────────
+    let eta = 0.9;
+    println!("classic laws at eta = {eta}:");
+    for n in [4.0, 16.0, 64.0, 256.0] {
+        println!(
+            "  n = {n:5}: Amdahl {a:7.2}   Gustafson {g:7.2}   Sun-Ni(g=n) {s:7.2}",
+            a = classic::amdahl(eta, n)?,
+            g = classic::gustafson(eta, n)?,
+            s = classic::sun_ni_linear_memory(eta, n)?,
+        );
+    }
+
+    // ── 2. A data-intensive workload with in-proportion scaling ─────────
+    // The serial merge grows with the parallel portion (like the paper's
+    // Sort): IN(n) = 0.36n + 0.64 after normalization.
+    let sort_like = IpsoModel::builder(eta)
+        .external(ScalingFactor::linear())
+        .internal(ScalingFactor::affine(0.36, 0.64))
+        .build()?;
+    println!("\nin-proportion scaling caps the fixed-time speedup:");
+    for n in [4.0, 16.0, 64.0, 256.0, 4096.0] {
+        println!(
+            "  n = {n:6}: S = {s:6.2}   (Gustafson would claim {g:7.1})",
+            s = sort_like.speedup(n)?,
+            g = classic::gustafson(eta, n)?
+        );
+    }
+
+    // ── 3. Scale-out-induced overhead can make scaling pathological ─────
+    // A broadcast whose cost grows linearly per node induces q(n) ~ n²
+    // (the paper's Collaborative Filtering case).
+    let cf_like = IpsoModel::builder(1.0)
+        .external(ScalingFactor::one()) // fixed-size
+        .induced(ScalingFactor::induced(0.0004, 2.0))
+        .build()?;
+    let (n_peak, s_peak) = cf_like.peak_speedup(300)?;
+    println!("\nsuperlinear induced overhead peaks the speedup:");
+    println!("  best S = {s_peak:.1} at n = {n_peak}; S(300) = {:.1}", cf_like.speedup(300.0)?);
+
+    // ── 4. Classify behaviours in the taxonomy of Figs. 2–3 ─────────────
+    println!("\ntaxonomy:");
+    let cases = [
+        ("Gustafson-like", AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0)?, WorkloadType::FixedTime),
+        ("Sort-like", AsymptoticParams::new(0.9, 2.8, 0.0, 0.0, 0.0)?, WorkloadType::FixedTime),
+        ("CF-like", AsymptoticParams::new(1.0, 1.0, 0.0, 0.0004, 2.0)?, WorkloadType::FixedSize),
+    ];
+    for (name, params, workload) in cases {
+        let (class, bound) = classify(&params, workload)?;
+        match bound {
+            Some(b) => println!("  {name:15} -> {class} (bound {b:.1})"),
+            None => println!("  {name:15} -> {class} (unbounded)"),
+        }
+    }
+    Ok(())
+}

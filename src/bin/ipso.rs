@@ -1,0 +1,18 @@
+//! The `ipso` command-line tool. All logic lives in
+//! [`ipso_repro::cli`]; this shell only handles process I/O.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match ipso_repro::cli::run(&raw) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

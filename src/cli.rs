@@ -1,0 +1,465 @@
+//! Implementation of the `ipso` command-line tool.
+//!
+//! The binary (`src/bin/ipso.rs`) is a thin shell around these functions
+//! so the parsing and command logic stay unit-testable.
+//!
+//! ```text
+//! ipso classify  --eta 0.9 --alpha 2.8 --delta 0 [--beta B --gamma G] [--fixed-size]
+//! ipso diagnose  curve.csv [--fixed-size]          # CSV: n,speedup
+//! ipso estimate  runs.csv
+//! ipso predict   runs.csv --window 16 --at 64,128,200 [--confidence 0.9]
+//! ipso provision runs.csv --window 16 --n-max 200 [--worker-cost 0.10 --master-cost 0.80]
+//! ipso report    runs.csv --window 16 --n-max 200 [--fixed-size]
+//! ```
+//!
+//! `runs.csv` columns: `n,seq_parallel,seq_serial,par_map,par_serial,par_overhead`
+//! (the paper's run decomposition, seconds).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ipso::confidence::{bootstrap_predictions, BootstrapOptions};
+use ipso::estimate::estimate_factors;
+use ipso::report::{analyze, ReportOptions};
+use ipso::predict::ScalingPredictor;
+use ipso::provision::{CostModel, Provisioner};
+use ipso::taxonomy::{classify, WorkloadType};
+use ipso::{AsymptoticParams, Diagnostician, RunMeasurement, SpeedupCurve};
+
+/// A CLI failure: message for stderr, non-zero exit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ipso::ModelError> for CliError {
+    fn from(e: ipso::ModelError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Parsed command line: positional arguments and `--flag [value]` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// Flags; boolean flags map to an empty string.
+    pub flags: HashMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Rejects flags without names.
+pub fn parse_args(raw: &[String]) -> Result<Args, CliError> {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if name.is_empty() {
+                return Err(CliError("empty flag name".into()));
+            }
+            // A flag consumes the next token as its value unless that
+            // token is itself a flag (or absent): boolean flag.
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                args.flags.insert(name.to_string(), raw[i + 1].clone());
+                i += 2;
+            } else {
+                args.flags.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            args.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// A required numeric flag.
+    ///
+    /// # Errors
+    ///
+    /// Missing or non-numeric flag.
+    pub fn require_f64(&self, name: &str) -> Result<f64, CliError> {
+        self.flags
+            .get(name)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))?
+            .parse()
+            .map_err(|_| CliError(format!("flag --{name} must be a number")))
+    }
+
+    /// An optional numeric flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Non-numeric value.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| CliError(format!("flag --{name} must be a number")))
+            }
+        }
+    }
+
+    /// The workload type: `--fixed-size` selects fixed-size, default is
+    /// fixed-time.
+    pub fn workload(&self) -> WorkloadType {
+        if self.flags.contains_key("fixed-size") {
+            WorkloadType::FixedSize
+        } else {
+            WorkloadType::FixedTime
+        }
+    }
+}
+
+/// Parses `n,speedup` CSV content (header optional).
+///
+/// # Errors
+///
+/// Malformed rows or an unusable curve.
+pub fn parse_curve_csv(content: &str) -> Result<SpeedupCurve, CliError> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || is_header(line) {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < 2 {
+            return Err(CliError(format!("line {}: expected 'n,speedup'", lineno + 1)));
+        }
+        let n: u32 = cols[0]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad n {:?}", lineno + 1, cols[0])))?;
+        let s: f64 = cols[1]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: bad speedup {:?}", lineno + 1, cols[1])))?;
+        pairs.push((n, s));
+    }
+    if pairs.is_empty() {
+        return Err(CliError("no data rows found".into()));
+    }
+    SpeedupCurve::from_pairs(pairs).map_err(CliError::from)
+}
+
+/// Parses the run-decomposition CSV
+/// (`n,seq_parallel,seq_serial,par_map,par_serial,par_overhead`).
+///
+/// # Errors
+///
+/// Malformed rows.
+pub fn parse_runs_csv(content: &str) -> Result<Vec<RunMeasurement>, CliError> {
+    let mut runs = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || is_header(line) {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < 6 {
+            return Err(CliError(format!(
+                "line {}: expected 6 columns (n,seq_parallel,seq_serial,par_map,par_serial,par_overhead)",
+                lineno + 1
+            )));
+        }
+        let parse = |idx: usize| -> Result<f64, CliError> {
+            cols[idx].parse().map_err(|_| {
+                CliError(format!("line {}: bad number {:?}", lineno + 1, cols[idx]))
+            })
+        };
+        let run = RunMeasurement {
+            n: cols[0]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad n {:?}", lineno + 1, cols[0])))?,
+            seq_parallel_work: parse(1)?,
+            seq_serial_work: parse(2)?,
+            par_map_time: parse(3)?,
+            par_serial_time: parse(4)?,
+            par_overhead: parse(5)?,
+        };
+        run.validate().map_err(CliError::from)?;
+        runs.push(run);
+    }
+    if runs.is_empty() {
+        return Err(CliError("no data rows found".into()));
+    }
+    Ok(runs)
+}
+
+fn is_header(line: &str) -> bool {
+    line.split(',').next().is_some_and(|c| c.trim().parse::<f64>().is_err())
+}
+
+/// `ipso classify` — classify asymptotic parameters.
+///
+/// # Errors
+///
+/// Invalid flags or parameters.
+pub fn cmd_classify(args: &Args) -> Result<String, CliError> {
+    let params = AsymptoticParams::new(
+        args.require_f64("eta")?,
+        args.f64_or("alpha", 1.0)?,
+        args.f64_or("delta", 0.0)?,
+        args.f64_or("beta", 0.0)?,
+        args.f64_or("gamma", 0.0)?,
+    )?;
+    let workload = args.workload();
+    let (class, bound) = classify(&params, workload)?;
+    let mut out = String::new();
+    writeln!(out, "workload : {workload}").expect("string write");
+    writeln!(out, "class    : {class}").expect("string write");
+    match bound {
+        Some(b) if b == 0.0 => {
+            writeln!(out, "bound    : peaks then decays towards 0").expect("string write")
+        }
+        Some(b) => writeln!(out, "bound    : {b:.3}").expect("string write"),
+        None => writeln!(out, "bound    : unbounded").expect("string write"),
+    }
+    for n in [4u32, 16, 64, 256] {
+        writeln!(out, "S({n:>3})   : {:.3}", params.speedup(f64::from(n))?).expect("string write");
+    }
+    Ok(out)
+}
+
+/// `ipso diagnose` — run the six-step procedure on a speedup curve CSV.
+///
+/// # Errors
+///
+/// Parse or diagnosis failures.
+pub fn cmd_diagnose(args: &Args, csv: &str) -> Result<String, CliError> {
+    let curve = parse_curve_csv(csv)?;
+    let report = Diagnostician::new().diagnose(&curve, args.workload())?;
+    Ok(format!("{report}\n"))
+}
+
+/// `ipso predict` — fit on a window and predict requested degrees.
+///
+/// # Errors
+///
+/// Parse, fit or evaluation failures.
+pub fn cmd_predict(args: &Args, csv: &str) -> Result<String, CliError> {
+    let runs = parse_runs_csv(csv)?;
+    let window = args.f64_or("window", 16.0)? as u32;
+    let predictor = ScalingPredictor::fit(&runs, window)?;
+    let est = predictor.estimates();
+
+    let mut out = String::new();
+    writeln!(out, "fitted on n <= {window} ({} runs)", est.external_samples.len())
+        .expect("string write");
+    writeln!(out, "eta      : {:.4}", est.eta).expect("string write");
+    writeln!(out, "EX shape : {:?}", est.external.shape).expect("string write");
+    writeln!(out, "IN shape : {:?}  ({:?})", est.internal.shape, est.internal.factor)
+        .expect("string write");
+    writeln!(out, "q  shape : {:?}", est.induced.shape).expect("string write");
+
+    let targets: Vec<u32> = match args.flags.get("at") {
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --at entry {t:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![32, 64, 128, 200],
+    };
+    if let Some(conf) = args.flags.get("confidence") {
+        let confidence: f64 = conf
+            .parse()
+            .map_err(|_| CliError("flag --confidence must be in (0, 1)".into()))?;
+        let opts = BootstrapOptions { fit_window: window, confidence, ..BootstrapOptions::default() };
+        let intervals = bootstrap_predictions(&runs, &targets, &opts)?;
+        writeln!(out, "\npredictions ({:.0}% bootstrap intervals):", confidence * 100.0)
+            .expect("string write");
+        for i in intervals {
+            writeln!(
+                out,
+                "  S({:>4}) = {:.3}   [{:.3}, {:.3}]",
+                i.n, i.point, i.lower, i.upper
+            )
+            .expect("string write");
+        }
+    } else {
+        writeln!(out, "\npredictions:").expect("string write");
+        for n in targets {
+            writeln!(out, "  S({n:>4}) = {:.3}", predictor.predict(f64::from(n))?)
+                .expect("string write");
+        }
+    }
+    Ok(out)
+}
+
+/// `ipso provision` — fit, then recommend cluster sizes under a price
+/// model.
+///
+/// # Errors
+///
+/// Parse, fit or evaluation failures.
+pub fn cmd_provision(args: &Args, csv: &str) -> Result<String, CliError> {
+    let runs = parse_runs_csv(csv)?;
+    let window = args.f64_or("window", 16.0)? as u32;
+    let n_max = args.f64_or("n-max", 200.0)? as u32;
+    let cost = CostModel::new(
+        args.f64_or("worker-cost", 0.10)?,
+        args.f64_or("master-cost", 0.80)?,
+    )?;
+    let predictor = ScalingPredictor::fit(&runs, window)?;
+    let t1 = runs.iter().min_by_key(|r| r.n).expect("non-empty").sequential_time();
+    let provisioner = Provisioner::new(predictor.model().clone(), t1, cost)?;
+
+    let fastest = provisioner.fastest(n_max)?;
+    let efficient = provisioner.most_efficient(n_max)?;
+    let knee = provisioner.knee(0.9, n_max)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fastest        : n = {:4}  S = {:8.2}  time = {:8.1}s  cost = ${:.4}",
+        fastest.n, fastest.speedup, fastest.job_time, fastest.job_cost
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "most efficient : n = {:4}  S = {:8.2}  time = {:8.1}s  cost = ${:.4}",
+        efficient.n, efficient.speedup, efficient.job_time, efficient.job_cost
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "90%-peak knee  : n = {:4}  S = {:8.2}  time = {:8.1}s  cost = ${:.4}",
+        knee.n, knee.speedup, knee.job_time, knee.job_cost
+    )
+    .expect("string write");
+    if let Some(deadline) = args.flags.get("deadline") {
+        let d: f64 = deadline
+            .parse()
+            .map_err(|_| CliError("flag --deadline must be seconds".into()))?;
+        match provisioner.cheapest_meeting_deadline(d, n_max)? {
+            Some(p) => writeln!(
+                out,
+                "deadline {d:.0}s  : n = {:4}  S = {:8.2}  time = {:8.1}s  cost = ${:.4}",
+                p.n, p.speedup, p.job_time, p.job_cost
+            )
+            .expect("string write"),
+            None => writeln!(out, "deadline {d:.0}s  : unreachable below n = {n_max}")
+                .expect("string write"),
+        }
+    }
+    Ok(out)
+}
+
+/// `ipso estimate` — print the fitted factors for a runs CSV.
+///
+/// # Errors
+///
+/// Parse or estimation failures.
+pub fn cmd_estimate(csv: &str) -> Result<String, CliError> {
+    let runs = parse_runs_csv(csv)?;
+    let est = estimate_factors(&runs)?;
+    let params = est.to_asymptotic()?;
+    let mut out = String::new();
+    writeln!(out, "eta    : {:.4}", est.eta).expect("string write");
+    writeln!(out, "EX(n)  : {:?}", est.external.factor).expect("string write");
+    writeln!(out, "IN(n)  : {:?}", est.internal.factor).expect("string write");
+    writeln!(out, "q(n)   : {:?}", est.induced.factor).expect("string write");
+    writeln!(
+        out,
+        "asymptotic: alpha = {:.4}, delta = {:.4}, beta = {:.6}, gamma = {:.4}",
+        params.alpha, params.delta, params.beta, params.gamma
+    )
+    .expect("string write");
+    Ok(out)
+}
+
+/// `ipso report` — render the full Markdown analysis report.
+///
+/// # Errors
+///
+/// Parse or analysis failures.
+pub fn cmd_report(args: &Args, csv: &str) -> Result<String, CliError> {
+    let runs = parse_runs_csv(csv)?;
+    let opts = ReportOptions {
+        workload: args.workload(),
+        fit_window: args.f64_or("window", 16.0)? as u32,
+        n_max: args.f64_or("n-max", 200.0)? as u32,
+        cost: CostModel::new(
+            args.f64_or("worker-cost", 0.10)?,
+            args.f64_or("master-cost", 0.80)?,
+        )?,
+    };
+    analyze(&runs, &opts).map_err(CliError::from)
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "ipso — scaling analysis for data-intensive applications (ICDCS 2019)
+
+USAGE:
+  ipso classify  --eta E [--alpha A --delta D --beta B --gamma G] [--fixed-size]
+  ipso diagnose  <curve.csv> [--fixed-size]
+  ipso estimate  <runs.csv>
+  ipso predict   <runs.csv> [--window 16] [--at 64,128,200] [--confidence 0.9]
+  ipso provision <runs.csv> [--window 16] [--n-max 200]
+                 [--worker-cost 0.10] [--master-cost 0.80] [--deadline SECS]
+  ipso report    <runs.csv> [--window 16] [--n-max 200] [--fixed-size]
+
+FILES:
+  curve.csv : n,speedup
+  runs.csv  : n,seq_parallel,seq_serial,par_map,par_serial,par_overhead
+"
+}
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+///
+/// Any command failure; the message is ready for stderr.
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = raw.split_first() else {
+        return Ok(usage().to_string());
+    };
+    let args = parse_args(rest)?;
+    let read_file = |args: &Args| -> Result<String, CliError> {
+        let path = args
+            .positional
+            .first()
+            .ok_or_else(|| CliError("missing input CSV path".into()))?;
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))
+    };
+    match cmd.as_str() {
+        "classify" => cmd_classify(&args),
+        "diagnose" => {
+            let csv = read_file(&args)?;
+            cmd_diagnose(&args, &csv)
+        }
+        "estimate" => {
+            let csv = read_file(&args)?;
+            cmd_estimate(&csv)
+        }
+        "predict" => {
+            let csv = read_file(&args)?;
+            cmd_predict(&args, &csv)
+        }
+        "provision" => {
+            let csv = read_file(&args)?;
+            cmd_provision(&args, &csv)
+        }
+        "report" => {
+            let csv = read_file(&args)?;
+            cmd_report(&args, &csv)
+        }
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}

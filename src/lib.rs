@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the IPSO reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for full documentation.
+
+pub mod cli;
+
+pub use ipso as model;
+pub use ipso_cluster as cluster;
+pub use ipso_fit as fit;
+pub use ipso_mapreduce as mapreduce;
+pub use ipso_sim as sim;
+pub use ipso_spark as spark;
+pub use ipso_workloads as workloads;

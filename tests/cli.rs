@@ -1,0 +1,149 @@
+//! Tests of the `ipso` CLI layer (argument parsing, CSV parsing and the
+//! command implementations).
+
+use ipso_repro::cli::{
+    cmd_classify, cmd_diagnose, cmd_estimate, cmd_predict, cmd_provision, cmd_report,
+    parse_args, parse_curve_csv, parse_runs_csv, run, usage,
+};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// A Sort-like runs CSV: EX = n, IN = 0.4n + 0.6, no overhead.
+fn runs_csv() -> String {
+    let mut out = String::from("n,seq_parallel,seq_serial,par_map,par_serial,par_overhead\n");
+    for n in [1u32, 2, 4, 8, 12, 16, 32, 64] {
+        let nf = f64::from(n);
+        let inn = 0.4 * nf + 0.6;
+        out.push_str(&format!("{n},{},{},{},{},0\n", 10.0 * nf, 3.0 * inn, 10.0, 3.0 * inn));
+    }
+    out
+}
+
+#[test]
+fn arg_parser_handles_flags_and_positionals() {
+    let a = parse_args(&args(&["file.csv", "--window", "16", "--fixed-size", "--at", "1,2"]))
+        .unwrap();
+    assert_eq!(a.positional, vec!["file.csv"]);
+    assert_eq!(a.flags.get("window").unwrap(), "16");
+    assert_eq!(a.flags.get("at").unwrap(), "1,2");
+    assert!(a.flags.contains_key("fixed-size"));
+    assert!(parse_args(&args(&["--"])).is_err());
+}
+
+#[test]
+fn curve_csv_accepts_header_and_blank_lines() {
+    let curve = parse_curve_csv("n,speedup\n\n1,1.0\n4,3.5\n2,1.9\n").unwrap();
+    assert_eq!(curve.len(), 3);
+    assert_eq!(curve.points()[1].n, 2);
+    assert!(parse_curve_csv("header only\n").is_err());
+    assert!(parse_curve_csv("1\n").is_err());
+    assert!(parse_curve_csv("x,y\nnot,a number\n").is_err());
+}
+
+#[test]
+fn runs_csv_roundtrip() {
+    let runs = parse_runs_csv(&runs_csv()).unwrap();
+    assert_eq!(runs.len(), 8);
+    assert_eq!(runs[0].n, 1);
+    assert!((runs[7].speedup() - (640.0 + 3.0 * 26.2) / (10.0 + 3.0 * 26.2)).abs() < 1e-9);
+    assert!(parse_runs_csv("1,2,3\n").is_err());
+}
+
+#[test]
+fn classify_command_formats_report() {
+    let a = parse_args(&args(&["--eta", "0.9", "--alpha", "2.8"])).unwrap();
+    let out = cmd_classify(&a).unwrap();
+    assert!(out.contains("IIIt,1"));
+    assert!(out.contains("bound    : 26.200"));
+    // Missing eta is an error.
+    let bad = parse_args(&args(&["--alpha", "2.8"])).unwrap();
+    assert!(cmd_classify(&bad).is_err());
+}
+
+#[test]
+fn classify_fixed_size_flag() {
+    let a = parse_args(&args(&["--eta", "0.9", "--fixed-size"])).unwrap();
+    let out = cmd_classify(&a).unwrap();
+    assert!(out.contains("fixed-size"));
+    assert!(out.contains("IIIs,1"));
+}
+
+#[test]
+fn diagnose_command_detects_peak() {
+    let csv = "n,speedup\n1,1\n10,15\n30,21\n60,22\n90,18\n120,14\n150,11\n";
+    let a = parse_args(&args(&["--fixed-size"])).unwrap();
+    let out = cmd_diagnose(&a, csv).unwrap();
+    assert!(out.contains("IVs"));
+    assert!(out.contains("peaked"));
+}
+
+#[test]
+fn estimate_command_reports_factors() {
+    let out = cmd_estimate(&runs_csv()).unwrap();
+    assert!(out.contains("eta    : 0.7692"), "{out}");
+    assert!(out.contains("Affine"));
+    assert!(out.contains("delta = 0.0000"), "{out}");
+}
+
+#[test]
+fn predict_command_extrapolates() {
+    let a = parse_args(&args(&["--window", "16", "--at", "64"])).unwrap();
+    let out = cmd_predict(&a, &runs_csv()).unwrap();
+    // True S(64) from the synthetic model.
+    let expected = (640.0 + 3.0 * 26.2) / (10.0 + 3.0 * 26.2);
+    let line = out.lines().find(|l| l.contains("S(  64)")).expect("prediction line");
+    let value: f64 = line.split('=').nth(1).unwrap().trim().parse().unwrap();
+    assert!((value - expected).abs() / expected < 0.02, "{line} vs {expected}");
+}
+
+#[test]
+fn predict_command_supports_bootstrap_intervals() {
+    let a = parse_args(&args(&["--window", "16", "--at", "64", "--confidence", "0.9"])).unwrap();
+    let out = cmd_predict(&a, &runs_csv()).unwrap();
+    assert!(out.contains("90% bootstrap intervals"), "{out}");
+    assert!(out.contains('['), "{out}");
+    let bad = parse_args(&args(&["--confidence", "nope"])).unwrap();
+    assert!(cmd_predict(&bad, &runs_csv()).is_err());
+}
+
+#[test]
+fn provision_command_recommends() {
+    let a = parse_args(&args(&["--window", "16", "--n-max", "100", "--deadline", "30"])).unwrap();
+    let out = cmd_provision(&a, &runs_csv()).unwrap();
+    assert!(out.contains("fastest"));
+    assert!(out.contains("most efficient"));
+    assert!(out.contains("90%-peak knee"));
+    assert!(out.contains("deadline 30s"));
+}
+
+#[test]
+fn report_command_renders_markdown() {
+    let a = parse_args(&args(&["--window", "16", "--n-max", "64"])).unwrap();
+    let out = cmd_report(&a, &runs_csv()).unwrap();
+    assert!(out.contains("# IPSO scaling analysis"));
+    assert!(out.contains("## Scaling classification"));
+    assert!(out.contains("IIIt,1"));
+    assert!(out.contains("## Provisioning"));
+}
+
+#[test]
+fn run_dispatches_and_reports_unknown_commands() {
+    assert!(run(&args(&[])).unwrap().contains("USAGE"));
+    assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+    let err = run(&args(&["frobnicate"])).unwrap_err();
+    assert!(err.0.contains("unknown command"));
+    let err = run(&args(&["diagnose"])).unwrap_err();
+    assert!(err.0.contains("missing input CSV"));
+    let err = run(&args(&["diagnose", "/definitely/not/here.csv"])).unwrap_err();
+    assert!(err.0.contains("cannot read"));
+}
+
+#[test]
+fn usage_mentions_every_command() {
+    let u = usage();
+    for cmd in ["classify", "diagnose", "estimate", "predict", "provision", "report"] {
+        assert!(u.contains(cmd), "usage missing {cmd}");
+    }
+}

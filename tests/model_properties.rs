@@ -1,0 +1,204 @@
+//! Property-based tests of the IPSO model layer: special-case reductions,
+//! bounds, monotonicity regions and fit round-trips.
+
+use ipso::classic;
+use ipso::estimate::estimate_factors;
+use ipso::measurement::RunMeasurement;
+use ipso::taxonomy::{classify, ScalingClass, WorkloadType};
+use ipso::{AsymptoticParams, IpsoModel, ScalingFactor};
+use proptest::prelude::*;
+
+fn eta_strategy() -> impl Strategy<Value = f64> {
+    0.05f64..=0.999
+}
+
+fn n_strategy() -> impl Strategy<Value = f64> {
+    1.0f64..=4096.0
+}
+
+proptest! {
+    /// IPSO with IN = 1, q = 0, EX = 1 is exactly Amdahl's law.
+    #[test]
+    fn reduces_to_amdahl(eta in eta_strategy(), n in n_strategy()) {
+        let model = IpsoModel::builder(eta).build().unwrap();
+        let a = classic::amdahl(eta, n).unwrap();
+        prop_assert!((model.speedup(n).unwrap() - a).abs() < 1e-9);
+    }
+
+    /// IPSO with IN = 1, q = 0, EX = n is exactly Gustafson's law.
+    #[test]
+    fn reduces_to_gustafson(eta in eta_strategy(), n in n_strategy()) {
+        let model = IpsoModel::builder(eta)
+            .external(ScalingFactor::linear())
+            .build()
+            .unwrap();
+        let g = classic::gustafson(eta, n).unwrap();
+        prop_assert!((model.speedup(n).unwrap() - g).abs() / g < 1e-9);
+    }
+
+    /// S(1) = 1 whenever q(1) = 0 — no parallelism, no gain, no loss.
+    #[test]
+    fn unit_speedup_at_one(
+        eta in eta_strategy(),
+        in_slope in 0.0f64..2.0,
+        beta in 0.0f64..0.5,
+        gamma in 0.0f64..2.5,
+    ) {
+        let model = IpsoModel::builder(eta)
+            .external(ScalingFactor::linear())
+            .internal(ScalingFactor::affine(in_slope, 1.0 - in_slope))
+            .induced(ScalingFactor::induced(beta, gamma))
+            .build()
+            .unwrap();
+        prop_assert!((model.speedup(1.0).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// Without scale-out-induced workload the speedup never exceeds n and
+    /// never drops below 1 for fixed-time workloads with IN no faster
+    /// than EX.
+    #[test]
+    fn fixed_time_speedup_between_one_and_n(
+        eta in eta_strategy(),
+        in_slope in 0.0f64..=1.0,
+        n in n_strategy(),
+    ) {
+        let model = IpsoModel::builder(eta)
+            .external(ScalingFactor::linear())
+            .internal(ScalingFactor::affine(in_slope, 1.0 - in_slope))
+            .build()
+            .unwrap();
+        let s = model.speedup(n).unwrap();
+        prop_assert!(s >= 1.0 - 1e-9, "S = {s}");
+        prop_assert!(s <= n + 1e-9, "S = {s} at n = {n}");
+    }
+
+    /// The asymptotic speedup respects its classified bound everywhere.
+    #[test]
+    fn bound_is_respected(
+        eta in eta_strategy(),
+        alpha in 0.1f64..10.0,
+        delta in 0.0f64..=1.0,
+        beta in 0.001f64..0.5,
+        gamma_idx in 0usize..4,
+    ) {
+        let gamma = [0.0, 0.5, 1.0, 2.0][gamma_idx];
+        let params = AsymptoticParams::new(eta, alpha, delta, beta, gamma).unwrap();
+        let (class, bound) = classify(&params, WorkloadType::FixedTime).unwrap();
+        if let Some(b) = bound {
+            if !class.peaks() {
+                for n in [2.0, 16.0, 256.0, 65536.0] {
+                    let s = params.speedup(n).unwrap();
+                    prop_assert!(s <= b * (1.0 + 1e-6), "S({n}) = {s} exceeds bound {b} for {class}");
+                }
+            }
+        }
+    }
+
+    /// Classification is total over the admissible space and bounds agree
+    /// with the analytic limit.
+    #[test]
+    fn classification_agrees_with_limits(
+        eta in eta_strategy(),
+        alpha in 0.1f64..10.0,
+        delta in 0.0f64..=1.0,
+        beta in 0.0f64..0.5,
+        gamma_idx in 0usize..4,
+    ) {
+        let gamma = [0.0, 0.5, 1.0, 2.0][gamma_idx];
+        let params = AsymptoticParams::new(eta, alpha, delta, beta, gamma).unwrap();
+        let (_, bound) = classify(&params, WorkloadType::FixedTime).unwrap();
+        match (bound, params.limit()) {
+            (Some(b), Some(l)) => prop_assert!((b - l).abs() < 1e-6 * (1.0 + b.abs())),
+            (None, None) => {}
+            (b, l) => prop_assert!(false, "bound {b:?} vs limit {l:?} for {params:?}"),
+        }
+    }
+
+    /// Pathological type IV always has an interior peak within a large
+    /// horizon.
+    #[test]
+    fn type_iv_peaks_interior(
+        eta in eta_strategy(),
+        beta in 0.0005f64..0.01,
+    ) {
+        let model = IpsoModel::builder(eta)
+            .external(ScalingFactor::linear())
+            .induced(ScalingFactor::induced(beta, 2.0))
+            .build()
+            .unwrap();
+        let (n_peak, s_peak) = model.peak_speedup(5000).unwrap();
+        prop_assert!(n_peak > 1 && n_peak < 5000);
+        prop_assert!(s_peak >= model.speedup(5000.0).unwrap());
+    }
+
+    /// Factor estimation round-trips synthetic workloads: generating runs
+    /// from known (η, IN slope) recovers them.
+    #[test]
+    fn estimation_roundtrip(
+        wp1 in 5.0f64..50.0,
+        ws1 in 1.0f64..10.0,
+        in_slope in 0.05f64..0.9,
+    ) {
+        let runs: Vec<RunMeasurement> = [1u32, 2, 4, 8, 16]
+            .iter()
+            .map(|&n| {
+                let nf = f64::from(n);
+                let inn = in_slope * nf + (1.0 - in_slope);
+                RunMeasurement {
+                    n,
+                    seq_parallel_work: wp1 * nf,
+                    seq_serial_work: ws1 * inn,
+                    par_map_time: wp1,
+                    par_serial_time: ws1 * inn,
+                    par_overhead: 0.0,
+                }
+            })
+            .collect();
+        let est = estimate_factors(&runs).unwrap();
+        prop_assert!((est.eta - wp1 / (wp1 + ws1)).abs() < 1e-6);
+        let in16 = est.internal.factor.eval(16.0) / est.internal.factor.eval(1.0);
+        let expected = (in_slope * 16.0 + (1.0 - in_slope)) / 1.0;
+        prop_assert!((in16 - expected).abs() / expected < 1e-6);
+        // The reconstructed model reproduces the measured speedups.
+        let model = est.to_model().unwrap();
+        for r in &runs {
+            let rel = (model.speedup(f64::from(r.n)).unwrap() - r.speedup()).abs() / r.speedup();
+            prop_assert!(rel < 1e-6, "n = {}", r.n);
+        }
+    }
+
+    /// Speedup classifications never call an unbounded type pathological.
+    #[test]
+    fn unbounded_is_never_pathological(
+        eta in eta_strategy(),
+        delta in 0.01f64..=1.0,
+    ) {
+        let params = AsymptoticParams::new(eta, 1.0, delta, 0.0, 0.0).unwrap();
+        let (class, bound) = classify(&params, WorkloadType::FixedTime).unwrap();
+        if bound.is_none() {
+            prop_assert!(class.is_unbounded());
+            prop_assert!(!class.is_pathological());
+        }
+    }
+}
+
+#[test]
+fn scaling_class_display_covers_all_variants() {
+    // Non-property sanity: every class renders a non-empty name.
+    use ipso::taxonomy::{FixedSizeClass, FixedTimeClass};
+    let all = [
+        ScalingClass::FixedTime(FixedTimeClass::It),
+        ScalingClass::FixedTime(FixedTimeClass::IIt),
+        ScalingClass::FixedTime(FixedTimeClass::IIIt1),
+        ScalingClass::FixedTime(FixedTimeClass::IIIt2),
+        ScalingClass::FixedTime(FixedTimeClass::IVt),
+        ScalingClass::FixedSize(FixedSizeClass::Is),
+        ScalingClass::FixedSize(FixedSizeClass::IIs),
+        ScalingClass::FixedSize(FixedSizeClass::IIIs1),
+        ScalingClass::FixedSize(FixedSizeClass::IIIs2),
+        ScalingClass::FixedSize(FixedSizeClass::IVs),
+    ];
+    for c in all {
+        assert!(!c.to_string().is_empty());
+    }
+}
