@@ -37,7 +37,9 @@ fn bench_mapreduce_jobs(c: &mut Criterion) {
 
 fn bench_spark_job(c: &mut Criterion) {
     let job = bayes::job(256, 64);
-    c.bench_function("spark_bayes_n256_m64", |b| b.iter(|| run_job(black_box(&job))));
+    c.bench_function("spark_bayes_n256_m64", |b| {
+        b.iter(|| run_job(black_box(&job)))
+    });
 }
 
 fn bench_full_sweep(c: &mut Criterion) {
@@ -46,5 +48,10 @@ fn bench_full_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mapreduce_jobs, bench_spark_job, bench_full_sweep);
+criterion_group!(
+    benches,
+    bench_mapreduce_jobs,
+    bench_spark_job,
+    bench_full_sweep
+);
 criterion_main!(benches);

@@ -4,14 +4,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ipso_fit::{
-    fit_line, fit_polynomial, fit_power_law, fit_two_segment, levenberg_marquardt,
-    NonlinearOptions,
+    fit_line, fit_polynomial, fit_power_law, fit_two_segment, levenberg_marquardt, NonlinearOptions,
 };
 
 fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
     let xs: Vec<f64> = (1..=n).map(|v| v as f64).collect();
-    let ys: Vec<f64> =
-        xs.iter().map(|&x| 0.36 * x - 0.11 + 0.01 * (x * 12.9898).sin()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 0.36 * x - 0.11 + 0.01 * (x * 12.9898).sin())
+        .collect();
     (xs, ys)
 }
 
@@ -37,7 +38,13 @@ fn bench_segmented(c: &mut Criterion) {
     let xs: Vec<f64> = (1..=64).map(|v| v as f64).collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|&x| if x <= 15.0 { 0.15 * x + 0.85 } else { 0.25 * x + 1.5 })
+        .map(|&x| {
+            if x <= 15.0 {
+                0.15 * x + 0.85
+            } else {
+                0.25 * x + 1.5
+            }
+        })
         .collect();
     c.bench_function("fit_two_segment_64", |b| {
         b.iter(|| fit_two_segment(black_box(&xs), black_box(&ys), 3).expect("fits"))
@@ -61,5 +68,11 @@ fn bench_levenberg_marquardt(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_linear, bench_power_law, bench_segmented, bench_levenberg_marquardt);
+criterion_group!(
+    benches,
+    bench_linear,
+    bench_power_law,
+    bench_segmented,
+    bench_levenberg_marquardt
+);
 criterion_main!(benches);

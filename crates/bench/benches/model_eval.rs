@@ -32,12 +32,21 @@ fn bench_asymptotic(c: &mut Criterion) {
 }
 
 fn bench_classic_laws(c: &mut Criterion) {
-    c.bench_function("amdahl", |b| b.iter(|| classic::amdahl(black_box(0.95), 64.0)));
-    c.bench_function("gustafson", |b| b.iter(|| classic::gustafson(black_box(0.95), 64.0)));
+    c.bench_function("amdahl", |b| {
+        b.iter(|| classic::amdahl(black_box(0.95), 64.0))
+    });
+    c.bench_function("gustafson", |b| {
+        b.iter(|| classic::gustafson(black_box(0.95), 64.0))
+    });
     c.bench_function("sun_ni", |b| {
         b.iter(|| classic::sun_ni(black_box(0.95), 64.0, |n| n * n.log2().max(1.0)))
     });
 }
 
-criterion_group!(benches, bench_deterministic_speedup, bench_asymptotic, bench_classic_laws);
+criterion_group!(
+    benches,
+    bench_deterministic_speedup,
+    bench_asymptotic,
+    bench_classic_laws
+);
 criterion_main!(benches);

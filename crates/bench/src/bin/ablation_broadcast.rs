@@ -27,7 +27,13 @@ fn main() {
 
     let mut table = Table::new(
         "ablation_broadcast",
-        &["m", "serial_speedup", "tree_speedup", "serial_overhead", "tree_overhead"],
+        &[
+            "m",
+            "serial_speedup",
+            "tree_speedup",
+            "serial_overhead",
+            "tree_overhead",
+        ],
     );
     for (s, t) in serial.iter().zip(&tree) {
         table.push(vec![

@@ -18,8 +18,18 @@ fn main() {
     let memories = [2 * GIB, 4 * GIB, 8 * GIB, 16 * GIB];
     let m = 16;
 
-    let mut table =
-        Table::new("ablation_memory", &["memory_gib", "load1", "load2", "load4", "load8", "load16", "best_load"]);
+    let mut table = Table::new(
+        "ablation_memory",
+        &[
+            "memory_gib",
+            "load1",
+            "load2",
+            "load4",
+            "load8",
+            "load16",
+            "best_load",
+        ],
+    );
 
     println!("speedup at m = {m} by per-executor load level and executor memory:");
     for &mem in &memories {

@@ -20,7 +20,12 @@ fn main() {
 
     let mut table = Table::new(
         "ablation_scheduler",
-        &["tasks", "hadoop_speedup", "spark_speedup", "idealized_speedup"],
+        &[
+            "tasks",
+            "hadoop_speedup",
+            "spark_speedup",
+            "idealized_speedup",
+        ],
     );
 
     for &tasks in &[64u32, 128, 256, 512, 1024, 2048] {
@@ -53,5 +58,8 @@ fn main() {
         ideal[last],
         hadoop[last]
     );
-    assert!(ideal[last] > hadoop[last], "idealized dispatch must win at scale");
+    assert!(
+        ideal[last] > hadoop[last],
+        "idealized dispatch must win at scale"
+    );
 }

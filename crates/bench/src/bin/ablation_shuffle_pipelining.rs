@@ -41,8 +41,10 @@ fn main() {
     let barrier = sweep_with(false);
     let pipelined = sweep_with(true);
 
-    let mut table =
-        Table::new("ablation_shuffle_pipelining", &["n", "barrier", "pipelined"]);
+    let mut table = Table::new(
+        "ablation_shuffle_pipelining",
+        &["n", "barrier", "pipelined"],
+    );
     let b = barrier.measurements();
     let p = pipelined.measurements();
     for (mb, mp) in b.iter().zip(&p) {

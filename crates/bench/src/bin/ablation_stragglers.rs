@@ -13,15 +13,36 @@ use ipso_bench::Table;
 
 fn main() {
     let dists: Vec<(&str, TaskTimeDistribution)> = vec![
-        ("deterministic", TaskTimeDistribution::Deterministic { value: 10.0 }),
-        ("uniform_5pct", TaskTimeDistribution::Uniform { lo: 9.5, hi: 10.5 }),
-        ("uniform_30pct", TaskTimeDistribution::Uniform { lo: 7.0, hi: 13.0 }),
-        ("exponential", TaskTimeDistribution::Exponential { mean: 10.0 }),
+        (
+            "deterministic",
+            TaskTimeDistribution::Deterministic { value: 10.0 },
+        ),
+        (
+            "uniform_5pct",
+            TaskTimeDistribution::Uniform { lo: 9.5, hi: 10.5 },
+        ),
+        (
+            "uniform_30pct",
+            TaskTimeDistribution::Uniform { lo: 7.0, hi: 13.0 },
+        ),
+        (
+            "exponential",
+            TaskTimeDistribution::Exponential { mean: 10.0 },
+        ),
         (
             "shifted_exp",
-            TaskTimeDistribution::ShiftedExponential { shift: 8.0, mean: 2.0 },
+            TaskTimeDistribution::ShiftedExponential {
+                shift: 8.0,
+                mean: 2.0,
+            },
         ),
-        ("pareto_2_5", TaskTimeDistribution::Pareto { scale: 6.0, shape: 2.5 }),
+        (
+            "pareto_2_5",
+            TaskTimeDistribution::Pareto {
+                scale: 6.0,
+                shape: 2.5,
+            },
+        ),
     ];
 
     let mut columns = vec!["n".to_string()];
@@ -69,5 +90,8 @@ fn main() {
     // shifted_exp, pareto_2_5).
     assert!(last[1] > last[2], "noise must cost something");
     assert!(last[2] > last[3], "wider uniform jitter costs more");
-    assert!(last[3] > last[4], "exponential tails cost more than bounded jitter");
+    assert!(
+        last[3] > last[4],
+        "exponential tails cost more than bounded jitter"
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; CSVs under results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; CSVs under results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nFAILED experiments: {failures:?}");
         std::process::exit(1);

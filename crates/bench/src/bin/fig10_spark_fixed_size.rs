@@ -10,10 +10,14 @@ use ipso_bench::Table;
 use ipso_spark::sweep_fixed_size;
 use ipso_workloads::{bayes, nweight, random_forest, svm};
 
+/// A named Spark application constructor `(name, job(load, m))`.
+type App = (&'static str, fn(u32, u32) -> ipso_spark::SparkJobSpec);
+
 fn main() {
+    let trace_out = ipso_bench::trace_out_from_env();
     let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256];
     let sizes: Vec<u32> = vec![32, 64, 128];
-    let apps: Vec<(&str, fn(u32, u32) -> ipso_spark::SparkJobSpec)> = vec![
+    let apps: Vec<App> = vec![
         ("bayes", bayes::job),
         ("random_forest", random_forest::job),
         ("svm", svm::job),
@@ -21,10 +25,11 @@ fn main() {
     ];
 
     for (name, make_job) in &apps {
-        let mut table =
-            Table::new(&format!("fig10_{name}"), &["m", "n32", "n64", "n128"]);
-        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> =
-            sizes.iter().map(|&s| sweep_fixed_size(*make_job, s, &ms)).collect();
+        let mut table = Table::new(&format!("fig10_{name}"), &["m", "n32", "n64", "n128"]);
+        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> = sizes
+            .iter()
+            .map(|&s| sweep_fixed_size(*make_job, s, &ms))
+            .collect();
         for (i, &m) in ms.iter().enumerate() {
             table.push(vec![
                 f64::from(m),
@@ -56,4 +61,5 @@ fn main() {
         }
         println!();
     }
+    trace_out.finish();
 }

@@ -11,11 +11,26 @@ use ipso_bench::Table;
 fn main() {
     // Representative parameter sets (η, α, δ, β, γ) for each behaviour.
     let cases: Vec<(&str, AsymptoticParams)> = vec![
-        ("It", AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0).expect("valid")),
-        ("IIt", AsymptoticParams::new(0.9, 1.0, 0.5, 0.0, 0.0).expect("valid")),
-        ("IIIt1", AsymptoticParams::new(0.8, 4.3, 0.0, 0.0, 0.0).expect("valid")),
-        ("IIIt2", AsymptoticParams::new(1.0, 1.0, 0.0, 0.05, 1.0).expect("valid")),
-        ("IVt", AsymptoticParams::new(0.9, 1.0, 1.0, 0.001, 2.0).expect("valid")),
+        (
+            "It",
+            AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0).expect("valid"),
+        ),
+        (
+            "IIt",
+            AsymptoticParams::new(0.9, 1.0, 0.5, 0.0, 0.0).expect("valid"),
+        ),
+        (
+            "IIIt1",
+            AsymptoticParams::new(0.8, 4.3, 0.0, 0.0, 0.0).expect("valid"),
+        ),
+        (
+            "IIIt2",
+            AsymptoticParams::new(1.0, 1.0, 0.0, 0.05, 1.0).expect("valid"),
+        ),
+        (
+            "IVt",
+            AsymptoticParams::new(0.9, 1.0, 1.0, 0.001, 2.0).expect("valid"),
+        ),
     ];
 
     let ns: Vec<u32> = (0..=50).map(|i| 1 + i * 10).collect();

@@ -8,11 +8,26 @@ use ipso_bench::Table;
 
 fn main() {
     let cases: Vec<(&str, AsymptoticParams)> = vec![
-        ("Is", AsymptoticParams::new(1.0, 1.0, 0.0, 0.0, 0.0).expect("valid")),
-        ("IIs", AsymptoticParams::new(1.0, 1.0, 0.0, 0.3, 0.5).expect("valid")),
-        ("IIIs1_amdahl", AsymptoticParams::new(0.95, 1.0, 0.0, 0.0, 0.0).expect("valid")),
-        ("IIIs2", AsymptoticParams::new(0.95, 1.0, 0.0, 0.02, 1.0).expect("valid")),
-        ("IVs", AsymptoticParams::new(1.0, 1.0, 0.0, 0.0006, 2.0).expect("valid")),
+        (
+            "Is",
+            AsymptoticParams::new(1.0, 1.0, 0.0, 0.0, 0.0).expect("valid"),
+        ),
+        (
+            "IIs",
+            AsymptoticParams::new(1.0, 1.0, 0.0, 0.3, 0.5).expect("valid"),
+        ),
+        (
+            "IIIs1_amdahl",
+            AsymptoticParams::new(0.95, 1.0, 0.0, 0.0, 0.0).expect("valid"),
+        ),
+        (
+            "IIIs2",
+            AsymptoticParams::new(0.95, 1.0, 0.0, 0.02, 1.0).expect("valid"),
+        ),
+        (
+            "IVs",
+            AsymptoticParams::new(1.0, 1.0, 0.0, 0.0006, 2.0).expect("valid"),
+        ),
     ];
 
     let ns: Vec<u32> = (0..=50).map(|i| 1 + i * 10).collect();

@@ -11,6 +11,7 @@ use ipso_bench::Table;
 use ipso_workloads::{qmc, sort, terasort, wordcount, PAPER_SWEEP};
 
 fn main() {
+    let trace_out = ipso_bench::trace_out_from_env();
     let cases: Vec<(&str, ipso_mapreduce::ScalingSweep)> = vec![
         ("qmc", qmc::sweep(PAPER_SWEEP)),
         ("wordcount", wordcount::sweep(PAPER_SWEEP)),
@@ -23,8 +24,7 @@ fn main() {
         let base = &measurements[0];
         let eta = base.seq_parallel_work / (base.seq_parallel_work + base.seq_serial_work);
 
-        let mut table =
-            Table::new(&format!("fig4_{name}"), &["n", "measured", "gustafson"]);
+        let mut table = Table::new(&format!("fig4_{name}"), &["n", "measured", "gustafson"]);
         for m in &measurements {
             let g = gustafson(eta, f64::from(m.n)).expect("valid eta and n");
             table.push(vec![f64::from(m.n), m.speedup(), g]);
@@ -39,4 +39,5 @@ fn main() {
             gustafson(eta, f64::from(last.n)).expect("valid"),
         );
     }
+    trace_out.finish();
 }

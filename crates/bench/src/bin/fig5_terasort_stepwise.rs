@@ -11,6 +11,7 @@ use ipso_fit::fit_two_segment;
 use ipso_workloads::terasort;
 
 fn main() {
+    let trace_out = ipso_bench::trace_out_from_env();
     let ns: Vec<u32> = (1..=40).collect();
     let sweep = terasort::sweep(&ns);
     let measurements = sweep.measurements();
@@ -42,5 +43,9 @@ fn main() {
         100.0 * (fit.predict(fit.breakpoint + 1.0) - fit.left.predict(fit.breakpoint + 1.0))
             / fit.left.predict(fit.breakpoint + 1.0)
     );
-    assert!(fit.slope_increases(), "expected the post-spill regime to grow faster");
+    assert!(
+        fit.slope_increases(),
+        "expected the post-spill regime to grow faster"
+    );
+    trace_out.finish();
 }

@@ -22,7 +22,9 @@ fn main() {
         // n = 1 run still provides the workload reference.
         (
             "terasort",
-            terasort::sweep(&[1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48, 64, 96, 128, 160, 200]),
+            terasort::sweep(&[
+                1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48, 64, 96, 128, 160, 200,
+            ]),
             true,
         ),
     ];
@@ -37,8 +39,10 @@ fn main() {
         let base = &measurements[0];
         let eta = base.seq_parallel_work / (base.seq_parallel_work + base.seq_serial_work);
 
-        let mut table =
-            Table::new(&format!("fig7_{name}"), &["n", "measured", "ipso", "gustafson"]);
+        let mut table = Table::new(
+            &format!("fig7_{name}"),
+            &["n", "measured", "ipso", "gustafson"],
+        );
         let mut max_rel_err = 0.0f64;
         for m in &measurements {
             let ipso_s = predictor.predict(f64::from(m.n)).expect("predictable");

@@ -28,8 +28,10 @@ fn main() {
         predictor.gamma
     );
 
-    let mut table =
-        Table::new("fig8_collab_filtering", &["n", "measured", "ipso", "amdahl"]);
+    let mut table = Table::new(
+        "fig8_collab_filtering",
+        &["n", "measured", "ipso", "amdahl"],
+    );
     // Measured points from Table I via Eq. 18 with the fitted Tp,1(1).
     for &(n, tmax, wo) in &TABLE_I {
         let measured = fixed_size_speedup(predictor.tp1, tmax, wo).expect("valid");
@@ -47,7 +49,5 @@ fn main() {
     println!(
         "IPSO peak: S({n_peak}) = {s_peak:.1} (paper: ~21 near n = 60), then decay — type IVs."
     );
-    println!(
-        "Scaling out beyond n = {n_peak} only harms performance; Amdahl predicts S(n) = n."
-    );
+    println!("Scaling out beyond n = {n_peak} only harms performance; Amdahl predicts S(n) = n.");
 }

@@ -11,10 +11,14 @@ use ipso_bench::Table;
 use ipso_spark::sweep_fixed_time;
 use ipso_workloads::{bayes, nweight, random_forest, svm};
 
+/// A named Spark application constructor `(name, job(load, m))`.
+type App = (&'static str, fn(u32, u32) -> ipso_spark::SparkJobSpec);
+
 fn main() {
+    let trace_out = ipso_bench::trace_out_from_env();
     let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 24, 32, 48, 64];
     let loads: Vec<u32> = vec![1, 2, 4, 8];
-    let apps: Vec<(&str, fn(u32, u32) -> ipso_spark::SparkJobSpec)> = vec![
+    let apps: Vec<App> = vec![
         ("bayes", bayes::job),
         ("random_forest", random_forest::job),
         ("svm", svm::job),
@@ -26,8 +30,10 @@ fn main() {
             &format!("fig9_{name}"),
             &["m", "load1", "load2", "load4", "load8"],
         );
-        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> =
-            loads.iter().map(|&l| sweep_fixed_time(*make_job, l, &ms)).collect();
+        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> = loads
+            .iter()
+            .map(|&l| sweep_fixed_time(*make_job, l, &ms))
+            .collect();
         for (i, &m) in ms.iter().enumerate() {
             table.push(vec![
                 f64::from(m),
@@ -61,4 +67,5 @@ fn main() {
             }
         );
     }
+    trace_out.finish();
 }

@@ -23,7 +23,13 @@ fn main() {
 
     let mut table = Table::new(
         "provisioning_tradeoffs",
-        &["n", "speedup", "job_time_s", "job_cost_usd", "speedup_per_usd"],
+        &[
+            "n",
+            "speedup",
+            "job_time_s",
+            "job_cost_usd",
+            "speedup_per_usd",
+        ],
     );
     for p in provisioner.sweep(200).expect("sweep") {
         if p.n == 1 || p.n % 10 == 0 {
@@ -41,10 +47,22 @@ fn main() {
     let fastest = provisioner.fastest(200).expect("evaluable");
     let efficient = provisioner.most_efficient(200).expect("evaluable");
     let knee = provisioner.knee(0.9, 200).expect("evaluable");
-    println!("fastest          : n = {:3}  S = {:.2}  cost = ${:.3}", fastest.n, fastest.speedup, fastest.job_cost);
-    println!("most efficient   : n = {:3}  S = {:.2}  cost = ${:.3}", efficient.n, efficient.speedup, efficient.job_cost);
-    println!("90%-of-peak knee : n = {:3}  S = {:.2}  cost = ${:.3}", knee.n, knee.speedup, knee.job_cost);
-    match provisioner.cheapest_meeting_deadline(t1 / 3.0, 200).expect("evaluable") {
+    println!(
+        "fastest          : n = {:3}  S = {:.2}  cost = ${:.3}",
+        fastest.n, fastest.speedup, fastest.job_cost
+    );
+    println!(
+        "most efficient   : n = {:3}  S = {:.2}  cost = ${:.3}",
+        efficient.n, efficient.speedup, efficient.job_cost
+    );
+    println!(
+        "90%-of-peak knee : n = {:3}  S = {:.2}  cost = ${:.3}",
+        knee.n, knee.speedup, knee.job_cost
+    );
+    match provisioner
+        .cheapest_meeting_deadline(t1 / 3.0, 200)
+        .expect("evaluable")
+    {
         Some(p) => println!(
             "deadline T1/3    : n = {:3}  time = {:.1}s  cost = ${:.3}",
             p.n, p.job_time, p.job_cost

@@ -33,16 +33,22 @@ fn main() {
     for (name, params) in &cases {
         let mut table = Table::new(
             &format!("sensitivity_{name}"),
-            &["n", "speedup", "d_eta", "d_alpha", "d_delta", "d_beta", "d_gamma"],
+            &[
+                "n", "speedup", "d_eta", "d_alpha", "d_delta", "d_beta", "d_gamma",
+            ],
         );
-        let profile =
-            sensitivity_profile(params, [2u32, 8, 32, 64, 128, 256]).expect("evaluable");
+        let profile = sensitivity_profile(params, [2u32, 8, 32, 64, 128, 256]).expect("evaluable");
         for s in &profile {
-            table.push(vec![s.n, s.speedup, s.eta, s.alpha, s.delta, s.beta, s.gamma]);
+            table.push(vec![
+                s.n, s.speedup, s.eta, s.alpha, s.delta, s.beta, s.gamma,
+            ]);
         }
         table.emit();
         let last = profile.last().expect("non-empty");
-        println!("  {name}: dominant parameter at n = 256 is {}\n", last.dominant());
+        println!(
+            "  {name}: dominant parameter at n = 256 is {}\n",
+            last.dominant()
+        );
     }
 
     println!(

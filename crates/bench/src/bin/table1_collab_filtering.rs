@@ -12,12 +12,24 @@ use ipso_workloads::collab_filter::{job, CF_TASKS, TABLE_I};
 fn main() {
     let mut table = Table::new(
         "table1_collab_filtering",
-        &["n", "paper_max_task", "paper_overhead", "sim_split_time", "sim_overhead"],
+        &[
+            "n",
+            "paper_max_task",
+            "paper_overhead",
+            "sim_split_time",
+            "sim_overhead",
+        ],
     );
     for &(n, paper_tmax, paper_wo) in &TABLE_I {
         let run = run_job(&job(CF_TASKS, n));
         let sim_split = run.total_time - run.overhead_time;
-        table.push(vec![f64::from(n), paper_tmax, paper_wo, sim_split, run.overhead_time]);
+        table.push(vec![
+            f64::from(n),
+            paper_tmax,
+            paper_wo,
+            sim_split,
+            run.overhead_time,
+        ]);
     }
     table.emit();
 

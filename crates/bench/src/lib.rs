@@ -36,7 +36,11 @@ pub fn results_dir() -> PathBuf {
 /// Locates the workspace root by walking up from this crate's manifest.
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(Path::parent).expect("crate lives two levels down").to_path_buf()
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels down")
+        .to_path_buf()
 }
 
 /// A rectangular experiment result: named columns plus rows of numbers.
@@ -99,8 +103,11 @@ impl Table {
         out.push_str(&header.join("  "));
         out.push('\n');
         for row in &cells {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -136,15 +143,73 @@ impl Table {
     ///
     /// Panics if the column does not exist.
     pub fn column(&self, name: &str) -> usize {
-        self.columns.iter().position(|c| c == name).unwrap_or_else(|| {
-            panic!("no column {name:?} in table {}", self.name)
-        })
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name:?} in table {}", self.name))
     }
 
     /// All values of one column.
     pub fn values(&self, name: &str) -> Vec<f64> {
         let idx = self.column(name);
         self.rows.iter().map(|r| r[idx]).collect()
+    }
+}
+
+/// The experiment binaries' shared `--trace-out FILE` support.
+///
+/// Call [`trace_out_from_env`] first thing in `main`; if the flag is
+/// present the observability layer is enabled for the whole run, and
+/// [`TraceOut::finish`] writes the collected spans as a Chrome
+/// trace-event (Perfetto) file. Without the flag both calls are no-ops.
+#[derive(Debug)]
+#[must_use = "call finish() at the end of main to write the trace"]
+pub struct TraceOut {
+    path: Option<PathBuf>,
+}
+
+/// Parses `--trace-out FILE` (or `--trace-out=FILE`) from the process
+/// arguments and, when present, switches tracing on.
+pub fn trace_out_from_env() -> TraceOut {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--trace-out" && i + 1 < raw.len() {
+            path = Some(PathBuf::from(&raw[i + 1]));
+            i += 2;
+        } else if let Some(p) = raw[i].strip_prefix("--trace-out=") {
+            path = Some(PathBuf::from(p));
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    if path.is_some() {
+        ipso_obs::set_enabled(true);
+        ipso_obs::reset();
+    }
+    TraceOut { path }
+}
+
+impl TraceOut {
+    /// Writes the timeline collected since [`trace_out_from_env`] (if
+    /// `--trace-out` was given) and disables tracing again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output file cannot be written (experiment binaries
+    /// want loud failures).
+    pub fn finish(self) {
+        let Some(path) = self.path else { return };
+        let events = ipso_obs::take_events();
+        ipso_obs::set_enabled(false);
+        ipso_obs::write_chrome_trace(&path, &events).expect("cannot write --trace-out file");
+        println!(
+            "{} trace events -> {} (open in https://ui.perfetto.dev)",
+            events.len(),
+            path.display()
+        );
     }
 }
 

@@ -26,7 +26,10 @@ pub struct TaskSchedule {
 impl TaskSchedule {
     /// Duration of the slowest task.
     pub fn max_task_duration(&self) -> f64 {
-        self.records.iter().map(TaskRecord::duration).fold(0.0, f64::max)
+        self.records
+            .iter()
+            .map(TaskRecord::duration)
+            .fold(0.0, f64::max)
     }
 
     /// Extra wall-clock time attributable to dispatch serialization:
@@ -55,8 +58,12 @@ pub fn run_wave_schedule(
     let mut records = Vec::with_capacity(durations.len());
     let mut dispatch_clock = 0.0;
 
+    let mut queued: Vec<(f64, f64)> = Vec::new();
     for (i, &d) in durations.iter().enumerate() {
-        assert!(d.is_finite() && d >= 0.0, "task durations must be finite and >= 0");
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "task durations must be finite and >= 0"
+        );
         dispatch_clock += scheduler.dispatch_time(i as u32);
         let grant = pool.submit(SimTime::from_secs(dispatch_clock), d);
         // Executor id is not tracked by the pool; derive a stable label
@@ -67,6 +74,17 @@ pub fn run_wave_schedule(
             start: grant.start.as_secs(),
             end: grant.finish.as_secs(),
         });
+        if ipso_obs::enabled() {
+            let queue_delay = grant.start.as_secs() - dispatch_clock;
+            ipso_obs::histogram_record("cluster.task_queue_delay_us", (queue_delay * 1e6) as u64);
+            queued.push((dispatch_clock, grant.start.as_secs()));
+        }
+    }
+
+    if ipso_obs::enabled() {
+        ipso_obs::counter_add("cluster.wave_schedules", 1);
+        ipso_obs::counter_add("cluster.tasks_scheduled", records.len() as u64);
+        ipso_obs::gauge_set("cluster.queue_depth_peak", peak_queue_depth(&queued));
     }
 
     TaskSchedule {
@@ -74,6 +92,29 @@ pub fn run_wave_schedule(
         dispatch_total: dispatch_clock,
         records,
     }
+}
+
+/// Peak number of tasks simultaneously dispatched but not yet started —
+/// the scheduler-to-executor queue depth — from per-task
+/// `(dispatched, started)` intervals.
+fn peak_queue_depth(queued: &[(f64, f64)]) -> f64 {
+    let mut boundaries: Vec<(f64, i32)> = Vec::with_capacity(queued.len() * 2);
+    for &(dispatched, started) in queued {
+        if started > dispatched {
+            boundaries.push((dispatched, 1));
+            boundaries.push((started, -1));
+        }
+    }
+    // Sort by time with departures (-1) before arrivals at equal times so
+    // a back-to-back handoff does not inflate the peak.
+    boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mut depth = 0i32;
+    let mut peak = 0i32;
+    for (_, delta) in boundaries {
+        depth += delta;
+        peak = peak.max(depth);
+    }
+    f64::from(peak)
 }
 
 #[cfg(test)]
@@ -100,7 +141,11 @@ mod tests {
 
     #[test]
     fn dispatch_serialization_delays_start() {
-        let sched = CentralScheduler { base_dispatch: 1.0, contention: 0.0, job_setup: 0.0 };
+        let sched = CentralScheduler {
+            base_dispatch: 1.0,
+            contention: 0.0,
+            job_setup: 0.0,
+        };
         let s = run_wave_schedule(&[10.0, 10.0], 2, &sched);
         // Task 0 dispatched at t = 1, task 1 at t = 2.
         assert!((s.records[0].start - 1.0).abs() < 1e-12);
@@ -111,7 +156,11 @@ mod tests {
 
     #[test]
     fn contention_makes_dispatch_superlinear() {
-        let sched = CentralScheduler { base_dispatch: 0.001, contention: 0.001, job_setup: 0.0 };
+        let sched = CentralScheduler {
+            base_dispatch: 0.001,
+            contention: 0.001,
+            job_setup: 0.0,
+        };
         let s100 = run_wave_schedule(&[0.0; 100], 100, &sched);
         let s200 = run_wave_schedule(&[0.0; 200], 200, &sched);
         assert!(s200.dispatch_total > 2.5 * s100.dispatch_total);
@@ -119,7 +168,11 @@ mod tests {
 
     #[test]
     fn dispatch_induced_delay_is_nonnegative() {
-        let sched = CentralScheduler { base_dispatch: 0.5, contention: 0.0, job_setup: 0.0 };
+        let sched = CentralScheduler {
+            base_dispatch: 0.5,
+            contention: 0.0,
+            job_setup: 0.0,
+        };
         let s = run_wave_schedule(&[4.0, 4.0], 2, &sched);
         let zero = 4.0; // with free dispatch both run immediately
         assert!(s.dispatch_induced_delay(zero) > 0.0);

@@ -33,7 +33,7 @@ pub mod straggler;
 
 pub use exec::{run_wave_schedule, TaskSchedule};
 pub use memory::MemoryModel;
-pub use metrics::{JobTrace, PhaseTimes, TaskRecord};
+pub use metrics::{JobTrace, PhaseTimes, RunConfig, TaskRecord};
 pub use network::NetworkModel;
 pub use scheduler::CentralScheduler;
 pub use spec::{ClusterSpec, NodeSpec};

@@ -48,7 +48,11 @@ impl MemoryModel {
 
     /// A model with unlimited memory (never spills).
     pub fn unlimited() -> MemoryModel {
-        MemoryModel { capacity_bytes: u64::MAX, spill_cost_factor: 0.0, overflow_burst: 0.0 }
+        MemoryModel {
+            capacity_bytes: u64::MAX,
+            spill_cost_factor: 0.0,
+            overflow_burst: 0.0,
+        }
     }
 
     /// Whether a working set of `bytes` spills.
@@ -110,7 +114,10 @@ mod tests {
     fn burst_at_the_boundary() {
         let m = MemoryModel::reducer_2gb();
         let just_over = m.slowdown(2 * GIB + 1);
-        assert!(just_over > 1.29 && just_over < 1.31, "just_over = {just_over}");
+        assert!(
+            just_over > 1.29 && just_over < 1.31,
+            "just_over = {just_over}"
+        );
         assert!(m.spills(2 * GIB + 1));
     }
 
@@ -144,9 +151,15 @@ mod tests {
     #[test]
     fn validation() {
         assert!(MemoryModel::reducer_2gb().validate().is_ok());
-        let bad = MemoryModel { capacity_bytes: 0, ..MemoryModel::reducer_2gb() };
+        let bad = MemoryModel {
+            capacity_bytes: 0,
+            ..MemoryModel::reducer_2gb()
+        };
         assert!(bad.validate().is_err());
-        let bad = MemoryModel { spill_cost_factor: -0.1, ..MemoryModel::reducer_2gb() };
+        let bad = MemoryModel {
+            spill_cost_factor: -0.1,
+            ..MemoryModel::reducer_2gb()
+        };
         assert!(bad.validate().is_err());
     }
 }

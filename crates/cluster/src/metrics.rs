@@ -2,6 +2,21 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::scheduler::CentralScheduler;
+use crate::straggler::StragglerModel;
+
+/// Engine configuration recorded alongside a trace so a run can be
+/// reproduced from its serialized form alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Scheduler cost parameters in effect.
+    pub scheduler: CentralScheduler,
+    /// Straggler model in effect.
+    pub straggler: StragglerModel,
+    /// The RNG seed of the run.
+    pub seed: u64,
+}
+
 /// Wall-clock time per job phase, mirroring the paper's four-part
 /// decomposition (with the reduce phase split into its shuffle / merge /
 /// reduce stages).
@@ -66,6 +81,11 @@ pub struct JobTrace {
     /// Scale-out-only overhead (dispatching, broadcast, queueing) — the
     /// measured `Wo(n)` (s).
     pub scale_out_overhead: f64,
+    /// Engine configuration and seed of the run, when recorded. Defaults
+    /// to `None` so traces serialized before this field existed still
+    /// deserialize.
+    #[serde(default)]
+    pub config: Option<RunConfig>,
 }
 
 impl JobTrace {
@@ -75,11 +95,16 @@ impl JobTrace {
     }
 
     /// The slowest map task's duration, `max_i Tp,i(n)`.
+    ///
+    /// Non-finite durations (as can appear in hand-edited or corrupted
+    /// trace files) are ignored rather than panicking; `None` is returned
+    /// when no finite duration exists.
     pub fn max_task_duration(&self) -> Option<f64> {
         self.tasks
             .iter()
             .map(TaskRecord::duration)
-            .max_by(|a, b| a.partial_cmp(b).expect("finite durations"))
+            .filter(|d| d.is_finite())
+            .fold(None, |acc, d| Some(acc.map_or(d, |m: f64| m.max(d))))
     }
 
     /// Mean map-task duration.
@@ -99,13 +124,39 @@ mod tests {
         JobTrace {
             job: "sort".into(),
             n: 4,
-            phases: PhaseTimes { init: 1.0, map: 10.0, shuffle: 2.0, merge: 3.0, reduce: 1.0 },
+            phases: PhaseTimes {
+                init: 1.0,
+                map: 10.0,
+                shuffle: 2.0,
+                merge: 3.0,
+                reduce: 1.0,
+            },
             tasks: vec![
-                TaskRecord { task_id: 0, executor: 0, start: 1.0, end: 9.0 },
-                TaskRecord { task_id: 1, executor: 1, start: 1.0, end: 11.0 },
-                TaskRecord { task_id: 2, executor: 2, start: 1.0, end: 10.0 },
+                TaskRecord {
+                    task_id: 0,
+                    executor: 0,
+                    start: 1.0,
+                    end: 9.0,
+                },
+                TaskRecord {
+                    task_id: 1,
+                    executor: 1,
+                    start: 1.0,
+                    end: 11.0,
+                },
+                TaskRecord {
+                    task_id: 2,
+                    executor: 2,
+                    start: 1.0,
+                    end: 10.0,
+                },
             ],
             scale_out_overhead: 0.5,
+            config: Some(RunConfig {
+                scheduler: CentralScheduler::hadoop_like(),
+                straggler: StragglerModel::mild(),
+                seed: 42,
+            }),
         }
     }
 
@@ -139,5 +190,63 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: JobTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn max_task_duration_ignores_non_finite() {
+        let mut t = trace();
+        t.tasks.push(TaskRecord {
+            task_id: 3,
+            executor: 3,
+            start: f64::NAN,
+            end: 2.0,
+        });
+        t.tasks.push(TaskRecord {
+            task_id: 4,
+            executor: 0,
+            start: 0.0,
+            end: f64::INFINITY,
+        });
+        // Must not panic; the finite maximum survives.
+        assert_eq!(t.max_task_duration(), Some(10.0));
+
+        let all_nan = JobTrace {
+            tasks: vec![TaskRecord {
+                task_id: 0,
+                executor: 0,
+                start: f64::NAN,
+                end: 1.0,
+            }],
+            ..JobTrace::default()
+        };
+        assert_eq!(all_nan.max_task_duration(), None);
+    }
+
+    #[test]
+    fn old_traces_without_config_still_deserialize() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        // Strip the config field, emulating a pre-RunConfig trace file.
+        let legacy = {
+            let start = json.find(",\"config\":").expect("config serialized");
+            let mut s = json[..start].to_string();
+            s.push('}');
+            s
+        };
+        let back: JobTrace = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.config, None);
+        assert_eq!(back.phases, t.phases);
+        assert_eq!(back.tasks, t.tasks);
+    }
+
+    #[test]
+    fn config_survives_roundtrip() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: JobTrace = serde_json::from_str(&json).unwrap();
+        let cfg = back.config.expect("config present");
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.scheduler, CentralScheduler::hadoop_like());
+        assert_eq!(cfg.straggler, StragglerModel::mild());
     }
 }

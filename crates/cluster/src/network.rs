@@ -49,6 +49,7 @@ impl NetworkModel {
 
     /// Point-to-point transfer time for `bytes` between two workers.
     pub fn p2p_time(&self, bytes: u64) -> f64 {
+        ipso_obs::counter_add("network.p2p_transfers", 1);
         self.latency + bytes as f64 / self.worker_bandwidth
     }
 
@@ -60,6 +61,10 @@ impl NetworkModel {
     pub fn broadcast_time(&self, bytes: u64, n: u32) -> f64 {
         if n == 0 {
             return 0.0;
+        }
+        if ipso_obs::enabled() {
+            ipso_obs::counter_add("network.broadcasts", 1);
+            ipso_obs::counter_add("network.broadcast_bytes", bytes * u64::from(n));
         }
         if self.tree_broadcast {
             let rounds = (n as f64 + 1.0).log2().ceil();
@@ -76,9 +81,12 @@ impl NetworkModel {
         if n == 0 {
             return 0.0;
         }
+        if ipso_obs::enabled() {
+            ipso_obs::counter_add("network.incast_shuffles", 1);
+            ipso_obs::counter_add("network.shuffle_bytes", bytes_per_sender * u64::from(n));
+        }
         let total = bytes_per_sender as f64 * n as f64;
-        let goodput =
-            self.worker_bandwidth / (1.0 + self.incast_coefficient * (n as f64 - 1.0));
+        let goodput = self.worker_bandwidth / (1.0 + self.incast_coefficient * (n as f64 - 1.0));
         self.latency + total / goodput
     }
 
@@ -100,7 +108,7 @@ mod tests {
     #[test]
     fn p2p_is_bandwidth_bound() {
         let m = model();
-        let t = m.p2p_time(56 * MIB as u64);
+        let t = m.p2p_time(56 * MIB);
         // ~56 MiB at 56.25 MB/s ≈ 1.04 s.
         assert!((1.0..1.2).contains(&t), "t = {t}");
     }

@@ -43,23 +43,36 @@ impl CentralScheduler {
     /// Parameters approximating a 2019-era Hadoop/YARN master: ~5 ms per
     /// task dispatch, weak contention, multi-second AM startup.
     pub fn hadoop_like() -> CentralScheduler {
-        CentralScheduler { base_dispatch: 5e-3, contention: 20e-6, job_setup: 3.0 }
+        CentralScheduler {
+            base_dispatch: 5e-3,
+            contention: 20e-6,
+            job_setup: 3.0,
+        }
     }
 
     /// Parameters approximating a Spark driver: ~1 ms per task (tasks are
     /// threads, not containers), visible contention, fast job setup.
     pub fn spark_like() -> CentralScheduler {
-        CentralScheduler { base_dispatch: 1e-3, contention: 15e-6, job_setup: 0.8 }
+        CentralScheduler {
+            base_dispatch: 1e-3,
+            contention: 15e-6,
+            job_setup: 0.8,
+        }
     }
 
     /// An idealized distributed scheduler with negligible, constant
     /// dispatch cost — for ablations against the centralized design.
     pub fn idealized() -> CentralScheduler {
-        CentralScheduler { base_dispatch: 1e-5, contention: 0.0, job_setup: 0.1 }
+        CentralScheduler {
+            base_dispatch: 1e-5,
+            contention: 0.0,
+            job_setup: 0.1,
+        }
     }
 
     /// Cost for the `i`-th task of a burst (0-based).
     pub fn dispatch_time(&self, already_dispatched: u32) -> f64 {
+        ipso_obs::counter_add("scheduler.dispatches", 1);
         self.base_dispatch + self.contention * already_dispatched as f64
     }
 
@@ -132,7 +145,10 @@ mod tests {
         assert!(CentralScheduler::hadoop_like().validate().is_ok());
         assert!(CentralScheduler::spark_like().validate().is_ok());
         assert!(CentralScheduler::idealized().validate().is_ok());
-        let bad = CentralScheduler { base_dispatch: -1.0, ..CentralScheduler::default() };
+        let bad = CentralScheduler {
+            base_dispatch: -1.0,
+            ..CentralScheduler::default()
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -38,16 +38,25 @@ impl StragglerModel {
         StragglerModel::Uniform { spread: 0.05 }
     }
 
+    /// Multiplier threshold above which a draw counts as a severe
+    /// straggler in the metrics registry.
+    pub const SEVERE_MULTIPLIER: f64 = 1.5;
+
     /// Draws a multiplier (≥ 0, usually near 1).
     pub fn multiplier(&self, rng: &mut SimRng) -> f64 {
-        match *self {
+        let m = match *self {
             StragglerModel::None => 1.0,
             StragglerModel::Uniform { spread } => rng.jitter(spread),
-            StragglerModel::ExponentialTail { mean_excess } => {
-                1.0 + rng.exponential(mean_excess)
-            }
+            StragglerModel::ExponentialTail { mean_excess } => 1.0 + rng.exponential(mean_excess),
             StragglerModel::Pareto { shape } => rng.pareto(1.0, shape),
+        };
+        if ipso_obs::enabled() {
+            ipso_obs::counter_add("straggler.draws", 1);
+            if m >= Self::SEVERE_MULTIPLIER {
+                ipso_obs::counter_add("straggler.severe_draws", 1);
+            }
         }
+        m
     }
 
     /// Mean of the multiplier, used to keep nominal workloads calibrated.
@@ -124,8 +133,7 @@ mod tests {
     fn exponential_tail_exceeds_one() {
         let mut rng = SimRng::seed_from(3);
         let m = StragglerModel::ExponentialTail { mean_excess: 0.2 };
-        let mean: f64 =
-            (0..20_000).map(|_| m.multiplier(&mut rng)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| m.multiplier(&mut rng)).sum::<f64>() / 20_000.0;
         assert!((mean - 1.2).abs() < 0.02, "mean = {mean}");
         assert!((m.mean_multiplier() - 1.2).abs() < 1e-12);
     }
@@ -144,7 +152,9 @@ mod tests {
     fn validation() {
         assert!(StragglerModel::mild().validate().is_ok());
         assert!(StragglerModel::Uniform { spread: 1.0 }.validate().is_err());
-        assert!(StragglerModel::ExponentialTail { mean_excess: 0.0 }.validate().is_err());
+        assert!(StragglerModel::ExponentialTail { mean_excess: 0.0 }
+            .validate()
+            .is_err());
         assert!(StragglerModel::Pareto { shape: 1.0 }.validate().is_err());
     }
 

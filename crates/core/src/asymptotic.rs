@@ -53,7 +53,13 @@ impl AsymptoticParams {
     /// * [`ModelError::InvalidEta`] unless `η ∈ (0, 1]`;
     /// * [`ModelError::InvalidFactor`] if `α < 0` (with `η < 1`), `β < 0`,
     ///   `γ < 0`, or any value is non-finite.
-    pub fn new(eta: f64, alpha: f64, delta: f64, beta: f64, gamma: f64) -> Result<Self, ModelError> {
+    pub fn new(
+        eta: f64,
+        alpha: f64,
+        delta: f64,
+        beta: f64,
+        gamma: f64,
+    ) -> Result<Self, ModelError> {
         check_eta(eta)?;
         if !alpha.is_finite() || (eta < 1.0 && alpha < 0.0) {
             return Err(ModelError::InvalidFactor {
@@ -62,7 +68,10 @@ impl AsymptoticParams {
             });
         }
         if !delta.is_finite() {
-            return Err(ModelError::InvalidFactor { factor: "EX", reason: "delta must be finite" });
+            return Err(ModelError::InvalidFactor {
+                factor: "EX",
+                reason: "delta must be finite",
+            });
         }
         if !beta.is_finite() || beta < 0.0 {
             return Err(ModelError::InvalidFactor {
@@ -76,7 +85,13 @@ impl AsymptoticParams {
                 reason: "gamma must be finite and non-negative",
             });
         }
-        Ok(AsymptoticParams { eta, alpha, delta, beta, gamma })
+        Ok(AsymptoticParams {
+            eta,
+            alpha,
+            delta,
+            beta,
+            gamma,
+        })
     }
 
     /// Parameters for a workload with no serial portion (`η = 1`), where
@@ -153,10 +168,8 @@ impl AsymptoticParams {
     pub fn limit(&self) -> Option<f64> {
         if self.is_serial_free() {
             // S = n / (1 + βn^γ)
-            return if self.no_induced_workload() {
-                None // S = n, unbounded
-            } else if self.gamma < 1.0 {
-                None // unbounded sublinear
+            return if self.no_induced_workload() || self.gamma < 1.0 {
+                None // S = n, or unbounded sublinear
             } else if self.gamma == 1.0 {
                 Some(1.0 / self.beta)
             } else {
@@ -166,7 +179,11 @@ impl AsymptoticParams {
         let eta = self.eta;
         let one_minus = 1.0 - eta;
         // Effective denominator exponent: δ − 1 + γ (with γ = 0 if no q).
-        let gamma = if self.no_induced_workload() { 0.0 } else { self.gamma };
+        let gamma = if self.no_induced_workload() {
+            0.0
+        } else {
+            self.gamma
+        };
         let den_exp = self.delta - 1.0 + gamma;
         if den_exp > 0.0 {
             // The numerator grows like n^δ; compare orders. Equality is

@@ -110,7 +110,9 @@ pub fn amdahl_model(eta: f64) -> Result<IpsoModel, ModelError> {
 ///
 /// Returns an error for `η ∉ (0, 1]`.
 pub fn gustafson_model(eta: f64) -> Result<IpsoModel, ModelError> {
-    IpsoModel::builder(eta).external(ScalingFactor::linear()).build()
+    IpsoModel::builder(eta)
+        .external(ScalingFactor::linear())
+        .build()
 }
 
 #[cfg(test)]

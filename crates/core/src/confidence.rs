@@ -54,7 +54,12 @@ pub struct BootstrapOptions {
 
 impl Default for BootstrapOptions {
     fn default() -> Self {
-        BootstrapOptions { fit_window: 16, replicates: 200, confidence: 0.9, seed: 42 }
+        BootstrapOptions {
+            fit_window: 16,
+            replicates: 200,
+            confidence: 0.9,
+            seed: 42,
+        }
     }
 }
 
@@ -113,7 +118,10 @@ pub fn bootstrap_predictions(
         });
     }
     if runs.len() < 4 {
-        return Err(ModelError::InsufficientData { points: runs.len(), required: 4 });
+        return Err(ModelError::InsufficientData {
+            points: runs.len(),
+            required: 4,
+        });
     }
 
     let full = ScalingPredictor::fit(runs, opts.fit_window)?;
@@ -238,17 +246,22 @@ mod tests {
     #[test]
     fn noiseless_runs_give_tight_intervals() {
         let intervals =
-            bootstrap_predictions(&noisy_runs(0.0), &[64], &BootstrapOptions::default())
-                .unwrap();
+            bootstrap_predictions(&noisy_runs(0.0), &[64], &BootstrapOptions::default()).unwrap();
         assert!(intervals[0].relative_width() < 1e-9, "{:?}", intervals[0]);
     }
 
     #[test]
     fn option_validation() {
         let runs = noisy_runs(0.02);
-        let bad_conf = BootstrapOptions { confidence: 1.5, ..BootstrapOptions::default() };
+        let bad_conf = BootstrapOptions {
+            confidence: 1.5,
+            ..BootstrapOptions::default()
+        };
         assert!(bootstrap_predictions(&runs, &[32], &bad_conf).is_err());
-        let bad_reps = BootstrapOptions { replicates: 2, ..BootstrapOptions::default() };
+        let bad_reps = BootstrapOptions {
+            replicates: 2,
+            ..BootstrapOptions::default()
+        };
         assert!(bootstrap_predictions(&runs, &[32], &bad_reps).is_err());
         assert!(bootstrap_predictions(&runs[..2], &[32], &BootstrapOptions::default()).is_err());
     }

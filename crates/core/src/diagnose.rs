@@ -117,7 +117,10 @@ impl Diagnostician {
         workload: WorkloadType,
     ) -> Result<DiagnosisReport, ModelError> {
         if curve.len() < 4 {
-            return Err(ModelError::InsufficientData { points: curve.len(), required: 4 });
+            return Err(ModelError::InsufficientData {
+                points: curve.len(),
+                required: 4,
+            });
         }
         let ns = curve.ns();
         let speedups = curve.speedups();
@@ -211,7 +214,11 @@ impl Diagnostician {
             subtype_resolved: trend != Trend::Bounded,
             tail_exponent,
             bound_estimate,
-            peak: if peaked { Some((peak.n, peak.speedup)) } else { None },
+            peak: if peaked {
+                Some((peak.n, peak.speedup))
+            } else {
+                None
+            },
             root_cause,
         })
     }
@@ -299,7 +306,9 @@ mod tests {
     #[test]
     fn diagnoses_gustafson_as_it() {
         let c = curve_from(NS, |n| 0.99 * n + 0.01);
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedTime).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedTime)
+            .unwrap();
         assert_eq!(r.trend, Trend::Linear);
         assert_eq!(r.class, ScalingClass::FixedTime(FixedTimeClass::It));
         assert!(r.root_cause.contains("Gustafson"));
@@ -308,7 +317,9 @@ mod tests {
     #[test]
     fn diagnoses_sublinear_as_iit() {
         let c = curve_from(NS, |n| n.powf(0.6));
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedTime).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedTime)
+            .unwrap();
         assert_eq!(r.trend, Trend::SublinearUnbounded);
         assert_eq!(r.class, ScalingClass::FixedTime(FixedTimeClass::IIt));
     }
@@ -317,7 +328,9 @@ mod tests {
     fn diagnoses_sort_like_bound_as_iiit() {
         // Sort in the paper saturates near S ≈ 3–5.
         let c = curve_from(NS, |n| 4.6 * n / (n + 7.0));
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedTime).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedTime)
+            .unwrap();
         assert_eq!(r.trend, Trend::Bounded);
         assert!(matches!(
             r.class,
@@ -334,7 +347,9 @@ mod tests {
         let c = curve_from(&[1, 10, 30, 60, 90, 120, 150], |n| {
             1602.5 / (2000.0 / n + 10.0 + 0.0061 * n * n)
         });
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedSize).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedSize)
+            .unwrap();
         assert_eq!(r.trend, Trend::Peaked);
         assert_eq!(r.class, ScalingClass::FixedSize(FixedSizeClass::IVs));
         let (n_peak, _) = r.peak.unwrap();
@@ -345,7 +360,9 @@ mod tests {
     #[test]
     fn diagnoses_amdahl_as_bounded_fixed_size() {
         let c = curve_from(NS, |n| 1.0 / (0.9 / n + 0.1));
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedSize).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedSize)
+            .unwrap();
         assert_eq!(r.trend, Trend::Bounded);
         assert!(matches!(r.class, ScalingClass::FixedSize(_)));
         let bound = r.bound_estimate.unwrap();
@@ -380,7 +397,10 @@ mod tests {
         let d = Diagnostician::new();
         let coarse = d.diagnose(&curve, WorkloadType::FixedTime).unwrap();
         let refined = d.refine(&coarse, &est).unwrap();
-        assert_eq!(refined.class, ScalingClass::FixedTime(FixedTimeClass::IIIt1));
+        assert_eq!(
+            refined.class,
+            ScalingClass::FixedTime(FixedTimeClass::IIIt1)
+        );
         assert!(refined.subtype_resolved);
         assert!(refined.root_cause.contains("η ="));
     }
@@ -389,7 +409,9 @@ mod tests {
     fn too_few_points_rejected() {
         let c = curve_from(&[1, 2, 4], |n| n);
         assert!(matches!(
-            Diagnostician::new().diagnose(&c, WorkloadType::FixedTime).unwrap_err(),
+            Diagnostician::new()
+                .diagnose(&c, WorkloadType::FixedTime)
+                .unwrap_err(),
             ModelError::InsufficientData { .. }
         ));
     }
@@ -397,7 +419,9 @@ mod tests {
     #[test]
     fn report_display_is_readable() {
         let c = curve_from(NS, |n| 0.9 * n + 0.1);
-        let r = Diagnostician::new().diagnose(&c, WorkloadType::FixedTime).unwrap();
+        let r = Diagnostician::new()
+            .diagnose(&c, WorkloadType::FixedTime)
+            .unwrap();
         let text = r.to_string();
         assert!(text.contains("workload type : fixed-time"));
         assert!(text.contains("scaling class : It"));

@@ -44,7 +44,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::InvalidEta(eta) => {
-                write!(f, "parallelizable fraction eta must be in (0, 1], got {eta}")
+                write!(
+                    f,
+                    "parallelizable fraction eta must be in (0, 1], got {eta}"
+                )
             }
             ModelError::InvalidScaleOut(n) => {
                 write!(f, "scale-out degree n must be finite and >= 1, got {n}")
@@ -52,11 +55,21 @@ impl fmt::Display for ModelError {
             ModelError::InvalidFactor { factor, reason } => {
                 write!(f, "invalid {factor} scaling factor: {reason}")
             }
-            ModelError::BoundaryCondition { factor, expected, actual } => {
-                write!(f, "{factor}(1) must equal {expected} but evaluates to {actual}")
+            ModelError::BoundaryCondition {
+                factor,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{factor}(1) must equal {expected} but evaluates to {actual}"
+                )
             }
             ModelError::InsufficientData { points, required } => {
-                write!(f, "{points} measurement points supplied but {required} required")
+                write!(
+                    f,
+                    "{points} measurement points supplied but {required} required"
+                )
             }
             ModelError::Fit(err) => write!(f, "regression failed: {err}"),
             ModelError::NonFinite(what) => write!(f, "computed {what} is not finite"),
@@ -109,7 +122,11 @@ mod tests {
             ModelError::InvalidScaleOut(0.0).to_string(),
             "scale-out degree n must be finite and >= 1, got 0"
         );
-        let err = ModelError::BoundaryCondition { factor: "EX", expected: 1.0, actual: 2.0 };
+        let err = ModelError::BoundaryCondition {
+            factor: "EX",
+            expected: 1.0,
+            actual: 2.0,
+        };
         assert_eq!(err.to_string(), "EX(1) must equal 1 but evaluates to 2");
     }
 

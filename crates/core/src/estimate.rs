@@ -160,17 +160,26 @@ pub fn estimate_factors_windowed(
     hi: u32,
 ) -> Result<FactorEstimates, ModelError> {
     if runs.len() < 3 {
-        return Err(ModelError::InsufficientData { points: runs.len(), required: 3 });
+        return Err(ModelError::InsufficientData {
+            points: runs.len(),
+            required: 3,
+        });
     }
     for r in runs {
         r.validate()?;
     }
     let mut all: Vec<RunMeasurement> = runs.to_vec();
     all.sort_by_key(|r| r.n);
-    let sorted: Vec<RunMeasurement> =
-        all.iter().copied().filter(|r| (lo..=hi).contains(&r.n)).collect();
+    let sorted: Vec<RunMeasurement> = all
+        .iter()
+        .copied()
+        .filter(|r| (lo..=hi).contains(&r.n))
+        .collect();
     if sorted.len() < 3 {
-        return Err(ModelError::InsufficientData { points: sorted.len(), required: 3 });
+        return Err(ModelError::InsufficientData {
+            points: sorted.len(),
+            required: 3,
+        });
     }
 
     let base = all[0];
@@ -188,18 +197,26 @@ pub fn estimate_factors_windowed(
         return Err(ModelError::NonFinite("reference parallel workload Wp(1)"));
     }
 
-    let eta = if ws_ref <= 0.0 { 1.0 } else { wp_ref / (wp_ref + ws_ref) };
+    let eta = if ws_ref <= 0.0 {
+        1.0
+    } else {
+        wp_ref / (wp_ref + ws_ref)
+    };
 
     let ns: Vec<f64> = sorted.iter().map(|r| r.n as f64).collect();
-    let ex_samples: Vec<(f64, f64)> =
-        sorted.iter().map(|r| (r.n as f64, r.seq_parallel_work / wp_ref)).collect();
+    let ex_samples: Vec<(f64, f64)> = sorted
+        .iter()
+        .map(|r| (r.n as f64, r.seq_parallel_work / wp_ref))
+        .collect();
     let in_samples: Vec<(f64, f64)> = if ws_ref > 0.0 {
-        sorted.iter().map(|r| (r.n as f64, r.seq_serial_work / ws_ref)).collect()
+        sorted
+            .iter()
+            .map(|r| (r.n as f64, r.seq_serial_work / ws_ref))
+            .collect()
     } else {
         sorted.iter().map(|r| (r.n as f64, 1.0)).collect()
     };
-    let q_samples: Vec<(f64, f64)> =
-        sorted.iter().map(|r| (r.n as f64, r.q_factor())).collect();
+    let q_samples: Vec<(f64, f64)> = sorted.iter().map(|r| (r.n as f64, r.q_factor())).collect();
 
     let external = fit_growth_factor(&ns, &ex_samples)?;
     let internal = fit_growth_factor(&ns, &in_samples)?;
@@ -237,8 +254,8 @@ fn fit_growth_factor(ns: &[f64], samples: &[(f64, f64)]) -> Result<FittedFactor,
     if ns.len() >= 8 {
         if let Ok(seg) = fit_two_segment(ns, &ys, 3) {
             let improves = seg.gof.ss_res < (1.0 - SEGMENT_GAIN) * line.gof.ss_res;
-            let slope_changes = (seg.right.slope - seg.left.slope).abs()
-                > 0.15 * seg.left.slope.abs().max(1e-12);
+            let slope_changes =
+                (seg.right.slope - seg.left.slope).abs() > 0.15 * seg.left.slope.abs().max(1e-12);
             if improves && slope_changes {
                 return Ok(FittedFactor {
                     factor: ScalingFactor::TwoSegment {
@@ -260,7 +277,7 @@ fn fit_growth_factor(ns: &[f64], samples: &[(f64, f64)]) -> Result<FittedFactor,
     // tail slope.
     if line.predict(1.0) <= 0.01 {
         let mut points: Vec<(f64, f64)> = Vec::with_capacity(samples.len() + 1);
-        if samples.first().map_or(true, |s| s.0 > 1.0) {
+        if samples.first().is_none_or(|s| s.0 > 1.0) {
             points.push((1.0, 1.0));
         }
         points.extend(samples.iter().copied());
@@ -293,10 +310,21 @@ fn fit_induced_factor(samples: &[(f64, f64)]) -> Result<FittedFactor, ModelError
             r_squared: 1.0,
         });
     }
-    let xs: Vec<f64> = samples.iter().filter(|s| s.0 > 1.0 && s.1 > 0.0).map(|s| s.0).collect();
-    let ys: Vec<f64> = samples.iter().filter(|s| s.0 > 1.0 && s.1 > 0.0).map(|s| s.1).collect();
+    let xs: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.0 > 1.0 && s.1 > 0.0)
+        .map(|s| s.0)
+        .collect();
+    let ys: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.0 > 1.0 && s.1 > 0.0)
+        .map(|s| s.1)
+        .collect();
     if xs.len() < 2 {
-        return Err(ModelError::InsufficientData { points: xs.len(), required: 2 });
+        return Err(ModelError::InsufficientData {
+            points: xs.len(),
+            required: 2,
+        });
     }
     // Seed (β, γ) from a plain power law, then refine on the shifted form.
     let seed = fit_power_law(&xs, &ys)
@@ -340,7 +368,11 @@ mod tests {
                 let wp = wp1 * nf; // EX(n) = n
                 let inn = in_slope * nf + (1.0 - in_slope);
                 let ws = ws1 * inn;
-                let q = if beta > 0.0 { beta * (nf.powf(gamma) - 1.0) } else { 0.0 };
+                let q = if beta > 0.0 {
+                    beta * (nf.powf(gamma) - 1.0)
+                } else {
+                    0.0
+                };
                 RunMeasurement {
                     n,
                     seq_parallel_work: wp,
@@ -418,8 +450,16 @@ mod tests {
             .collect();
         let est = estimate_factors(&runs).unwrap();
         assert_eq!(est.internal.shape, FactorShape::StepWise);
-        if let ScalingFactor::TwoSegment { breakpoint, left, right } = est.internal.factor {
-            assert!((14.0..=16.0).contains(&breakpoint), "breakpoint = {breakpoint}");
+        if let ScalingFactor::TwoSegment {
+            breakpoint,
+            left,
+            right,
+        } = est.internal.factor
+        {
+            assert!(
+                (14.0..=16.0).contains(&breakpoint),
+                "breakpoint = {breakpoint}"
+            );
             assert!(right.0 > left.0);
         } else {
             panic!("expected two-segment IN");

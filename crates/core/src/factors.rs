@@ -86,7 +86,10 @@ impl ScalingFactor {
 
     /// `f(n) = n` — the fixed-time external scaling of Gustafson's law.
     pub fn linear() -> Self {
-        ScalingFactor::Affine { slope: 1.0, intercept: 0.0 }
+        ScalingFactor::Affine {
+            slope: 1.0,
+            intercept: 0.0,
+        }
     }
 
     /// `f(n) = slope·n + intercept`.
@@ -97,14 +100,20 @@ impl ScalingFactor {
     /// `f(n) = coefficient·n^exponent` — the asymptotic forms of
     /// Eqs. 14–15.
     pub fn power(coefficient: f64, exponent: f64) -> Self {
-        ScalingFactor::Power { coefficient, exponent }
+        ScalingFactor::Power {
+            coefficient,
+            exponent,
+        }
     }
 
     /// A scale-out-induced factor `q(n) = β·(n^γ − 1)`, which satisfies the
     /// boundary condition `q(1) = 0` exactly while behaving like `β·n^γ`
     /// asymptotically (the paper works with the highest-order term only).
     pub fn induced(beta: f64, gamma: f64) -> Self {
-        ScalingFactor::ShiftedPower { coefficient: beta, exponent: gamma }
+        ScalingFactor::ShiftedPower {
+            coefficient: beta,
+            exponent: gamma,
+        }
     }
 
     /// Evaluates the factor at scale-out degree `n`.
@@ -117,14 +126,22 @@ impl ScalingFactor {
         match self {
             ScalingFactor::Constant(v) => *v,
             ScalingFactor::Affine { slope, intercept } => slope * n + intercept,
-            ScalingFactor::Power { coefficient, exponent } => coefficient * n.powf(*exponent),
-            ScalingFactor::ShiftedPower { coefficient, exponent } => {
-                coefficient * (n.powf(*exponent) - 1.0)
-            }
+            ScalingFactor::Power {
+                coefficient,
+                exponent,
+            } => coefficient * n.powf(*exponent),
+            ScalingFactor::ShiftedPower {
+                coefficient,
+                exponent,
+            } => coefficient * (n.powf(*exponent) - 1.0),
             ScalingFactor::Polynomial(coeffs) => {
                 coeffs.iter().rev().fold(0.0, |acc, &c| acc * n + c)
             }
-            ScalingFactor::TwoSegment { breakpoint, left, right } => {
+            ScalingFactor::TwoSegment {
+                breakpoint,
+                left,
+                right,
+            } => {
                 let (slope, intercept) = if n <= *breakpoint { *left } else { *right };
                 slope * n + intercept
             }
@@ -166,19 +183,32 @@ impl ScalingFactor {
     pub fn scaled(&self, k: f64) -> ScalingFactor {
         match self {
             ScalingFactor::Constant(v) => ScalingFactor::Constant(v * k),
-            ScalingFactor::Affine { slope, intercept } => {
-                ScalingFactor::Affine { slope: slope * k, intercept: intercept * k }
-            }
-            ScalingFactor::Power { coefficient, exponent } => {
-                ScalingFactor::Power { coefficient: coefficient * k, exponent: *exponent }
-            }
-            ScalingFactor::ShiftedPower { coefficient, exponent } => {
-                ScalingFactor::ShiftedPower { coefficient: coefficient * k, exponent: *exponent }
-            }
+            ScalingFactor::Affine { slope, intercept } => ScalingFactor::Affine {
+                slope: slope * k,
+                intercept: intercept * k,
+            },
+            ScalingFactor::Power {
+                coefficient,
+                exponent,
+            } => ScalingFactor::Power {
+                coefficient: coefficient * k,
+                exponent: *exponent,
+            },
+            ScalingFactor::ShiftedPower {
+                coefficient,
+                exponent,
+            } => ScalingFactor::ShiftedPower {
+                coefficient: coefficient * k,
+                exponent: *exponent,
+            },
             ScalingFactor::Polynomial(coeffs) => {
                 ScalingFactor::Polynomial(coeffs.iter().map(|c| c * k).collect())
             }
-            ScalingFactor::TwoSegment { breakpoint, left, right } => ScalingFactor::TwoSegment {
+            ScalingFactor::TwoSegment {
+                breakpoint,
+                left,
+                right,
+            } => ScalingFactor::TwoSegment {
                 breakpoint: *breakpoint,
                 left: (left.0 * k, left.1 * k),
                 right: (right.0 * k, right.1 * k),
@@ -202,8 +232,14 @@ impl ScalingFactor {
                     (*intercept, 0.0)
                 }
             }
-            ScalingFactor::Power { coefficient, exponent } => (*coefficient, *exponent),
-            ScalingFactor::ShiftedPower { coefficient, exponent } => (*coefficient, *exponent),
+            ScalingFactor::Power {
+                coefficient,
+                exponent,
+            } => (*coefficient, *exponent),
+            ScalingFactor::ShiftedPower {
+                coefficient,
+                exponent,
+            } => (*coefficient, *exponent),
             ScalingFactor::Polynomial(coeffs) => {
                 for (k, &c) in coeffs.iter().enumerate().rev() {
                     if c != 0.0 {
@@ -249,7 +285,10 @@ impl ScalingFactor {
                     reason: "table points must be strictly increasing in n",
                 });
             }
-            if points.iter().any(|&(n, v)| !n.is_finite() || !v.is_finite()) {
+            if points
+                .iter()
+                .any(|&(n, v)| !n.is_finite() || !v.is_finite())
+            {
                 return Err(ModelError::InvalidFactor {
                     factor: "scaling",
                     reason: "table points must be finite",
@@ -365,7 +404,11 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_everything() {
-        let f = ScalingFactor::TwoSegment { breakpoint: 5.0, left: (1.0, 0.0), right: (2.0, 1.0) };
+        let f = ScalingFactor::TwoSegment {
+            breakpoint: 5.0,
+            left: (1.0, 0.0),
+            right: (2.0, 1.0),
+        };
         let g = f.scaled(3.0);
         assert!((g.eval(4.0) - 12.0).abs() < 1e-12);
         assert!((g.eval(6.0) - 39.0).abs() < 1e-12);

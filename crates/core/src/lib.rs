@@ -88,6 +88,9 @@ pub use asymptotic::AsymptoticParams;
 pub use diagnose::{DiagnosisReport, Diagnostician};
 pub use error::ModelError;
 pub use factors::ScalingFactor;
-pub use measurement::{PhaseBreakdown, RunMeasurement, SpeedupCurve, SpeedupPoint};
+pub use measurement::{
+    overhead_breakdown, OverheadBreakdown, PhaseBreakdown, RunMeasurement, SpeedupCurve,
+    SpeedupPoint,
+};
 pub use model::IpsoModel;
 pub use taxonomy::{FixedSizeClass, FixedTimeClass, ScalingClass, WorkloadType};

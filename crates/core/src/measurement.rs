@@ -49,11 +49,11 @@ impl SpeedupCurve {
     /// Returns [`ModelError::InvalidScaleOut`] for `n = 0`,
     /// [`ModelError::NonFinite`] for non-finite speedups, and
     /// [`ModelError::InvalidFactor`] for duplicate `n` values.
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (u32, f64)>,
-    ) -> Result<Self, ModelError> {
-        let mut points: Vec<SpeedupPoint> =
-            pairs.into_iter().map(|(n, speedup)| SpeedupPoint { n, speedup }).collect();
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> Result<Self, ModelError> {
+        let mut points: Vec<SpeedupPoint> = pairs
+            .into_iter()
+            .map(|(n, speedup)| SpeedupPoint { n, speedup })
+            .collect();
         for p in &points {
             if p.n == 0 {
                 return Err(ModelError::InvalidScaleOut(0.0));
@@ -99,10 +99,11 @@ impl SpeedupCurve {
 
     /// The point with the highest speedup.
     pub fn peak(&self) -> Option<SpeedupPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite by construction"))
+        self.points.iter().copied().max_by(|a, b| {
+            a.speedup
+                .partial_cmp(&b.speedup)
+                .expect("finite by construction")
+        })
     }
 
     /// Whether the speedup never decreases as `n` grows.
@@ -113,7 +114,14 @@ impl SpeedupCurve {
     /// Restricts the curve to points with `n <= n_max` (the paper fits its
     /// scaling factors on `n ≤ 16`).
     pub fn up_to(&self, n_max: u32) -> SpeedupCurve {
-        SpeedupCurve { points: self.points.iter().copied().filter(|p| p.n <= n_max).collect() }
+        SpeedupCurve {
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|p| p.n <= n_max)
+                .collect(),
+        }
     }
 }
 
@@ -226,6 +234,93 @@ impl RunMeasurement {
     }
 }
 
+/// Decomposition of a measured scale-out overhead `Wo(n)` into the
+/// paper's canonical mechanisms.
+///
+/// Built by [`overhead_breakdown`]; the [`OverheadBreakdown::other`]
+/// residual absorbs whatever the named components do not explain, so the
+/// five components always sum to `total` *exactly* (no 1e-6 drift from
+/// re-deriving the total).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// The measured total `Wo(n)` (s).
+    pub total: f64,
+    /// Job setup, dispatch serialization and first-wave costs (s).
+    pub scheduling: f64,
+    /// Serialized driver broadcasts (s).
+    pub broadcast: f64,
+    /// Time spent waiting on shuffle transfers beyond the barrier (s).
+    pub shuffle_wait: f64,
+    /// Barrier stretch beyond a no-straggler schedule (s).
+    pub straggler_tail: f64,
+    /// Residual not attributed to a named mechanism (s). Negative when
+    /// the named components over-explain the total.
+    pub other: f64,
+}
+
+impl OverheadBreakdown {
+    /// Sum of all five components; equals `total` by construction.
+    pub fn components_sum(&self) -> f64 {
+        self.scheduling + self.broadcast + self.shuffle_wait + self.straggler_tail + self.other
+    }
+
+    /// `(component name, fraction of total)` pairs, in declaration order.
+    /// All fractions are zero when the total is zero.
+    pub fn shares(&self) -> [(&'static str, f64); 5] {
+        let frac = |v: f64| {
+            if self.total > 0.0 {
+                v / self.total
+            } else {
+                0.0
+            }
+        };
+        [
+            ("scheduling", frac(self.scheduling)),
+            ("broadcast", frac(self.broadcast)),
+            ("shuffle_wait", frac(self.shuffle_wait)),
+            ("straggler_tail", frac(self.straggler_tail)),
+            ("other", frac(self.other)),
+        ]
+    }
+}
+
+impl std::fmt::Display for OverheadBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "scale-out overhead Wo = {:.4}s", self.total)?;
+        let values = [
+            self.scheduling,
+            self.broadcast,
+            self.shuffle_wait,
+            self.straggler_tail,
+            self.other,
+        ];
+        for ((name, share), value) in self.shares().into_iter().zip(values) {
+            writeln!(f, "  {name:<15} {value:>10.4}s  ({:5.1}%)", share * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Decomposes a measured `Wo(n)` into scheduling / broadcast /
+/// shuffle-wait / straggler-tail shares, with the unexplained remainder
+/// in [`OverheadBreakdown::other`].
+pub fn overhead_breakdown(
+    total: f64,
+    scheduling: f64,
+    broadcast: f64,
+    shuffle_wait: f64,
+    straggler_tail: f64,
+) -> OverheadBreakdown {
+    OverheadBreakdown {
+        total,
+        scheduling,
+        broadcast,
+        shuffle_wait,
+        straggler_tail,
+        other: total - (scheduling + broadcast + shuffle_wait + straggler_tail),
+    }
+}
+
 /// Converts a set of run measurements into a speedup curve.
 ///
 /// # Errors
@@ -287,7 +382,13 @@ mod tests {
 
     #[test]
     fn phase_breakdown_accounting() {
-        let b = PhaseBreakdown { init: 1.0, map: 10.0, shuffle: 2.0, merge: 3.0, reduce: 4.0 };
+        let b = PhaseBreakdown {
+            init: 1.0,
+            map: 10.0,
+            shuffle: 2.0,
+            merge: 3.0,
+            reduce: 4.0,
+        };
         assert!((b.total() - 20.0).abs() < 1e-12);
         assert!((b.serial_portion() - 9.0).abs() < 1e-12);
     }
@@ -307,13 +408,17 @@ mod tests {
         assert!(run(1, 1.0, 1.0, 1.0, 1.0, 0.0).validate().is_ok());
         assert!(run(0, 1.0, 1.0, 1.0, 1.0, 0.0).validate().is_err());
         assert!(run(1, -1.0, 1.0, 1.0, 1.0, 0.0).validate().is_err());
-        assert!(run(1, f64::INFINITY, 1.0, 1.0, 1.0, 0.0).validate().is_err());
+        assert!(run(1, f64::INFINITY, 1.0, 1.0, 1.0, 0.0)
+            .validate()
+            .is_err());
     }
 
     #[test]
     fn curve_from_runs() {
-        let runs =
-            vec![run(1, 10.0, 2.0, 10.0, 2.0, 0.0), run(4, 40.0, 4.0, 10.0, 4.0, 1.0)];
+        let runs = vec![
+            run(1, 10.0, 2.0, 10.0, 2.0, 0.0),
+            run(4, 40.0, 4.0, 10.0, 4.0, 1.0),
+        ];
         let c = speedup_curve_from_runs(&runs).unwrap();
         assert_eq!(c.len(), 2);
         assert!((c.points()[0].speedup - 1.0).abs() < 1e-12);
@@ -322,9 +427,47 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let c: SpeedupCurve = [SpeedupPoint { n: 2, speedup: 2.0 }, SpeedupPoint { n: 1, speedup: 1.0 }]
-            .into_iter()
-            .collect();
+        let c: SpeedupCurve = [
+            SpeedupPoint { n: 2, speedup: 2.0 },
+            SpeedupPoint { n: 1, speedup: 1.0 },
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(c.points()[0].n, 1);
+    }
+
+    #[test]
+    fn overhead_breakdown_sums_exactly() {
+        let b = overhead_breakdown(10.0, 3.0, 2.0, 1.0, 0.5);
+        assert!((b.components_sum() - b.total).abs() < 1e-6);
+        assert!((b.other - 3.5).abs() < 1e-12);
+        // Awkward floating-point inputs still sum exactly by residual.
+        let b = overhead_breakdown(0.3, 0.1, 0.1, 0.05, 0.025);
+        assert!((b.components_sum() - b.total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overhead_breakdown_shares() {
+        let b = overhead_breakdown(8.0, 4.0, 2.0, 1.0, 1.0);
+        let shares = b.shares();
+        assert_eq!(shares[0], ("scheduling", 0.5));
+        assert_eq!(shares[1], ("broadcast", 0.25));
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Zero total yields zero shares, not NaN.
+        let z = overhead_breakdown(0.0, 0.0, 0.0, 0.0, 0.0);
+        assert!(z.shares().iter().all(|&(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn overhead_breakdown_display_and_serde() {
+        let b = overhead_breakdown(2.0, 1.0, 0.5, 0.25, 0.25);
+        let text = b.to_string();
+        assert!(text.contains("Wo = 2.0000s"));
+        assert!(text.contains("scheduling"));
+        assert!(text.contains("50.0%"));
+        let json = serde_json::to_string(&b).unwrap();
+        let back: OverheadBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
     }
 }

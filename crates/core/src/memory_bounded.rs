@@ -52,7 +52,9 @@ impl MemoryBoundedScaling {
     /// The data-intensive case: records stream through bounded per-node
     /// blocks, footprint is linear, `g(n) = n`.
     pub fn block_bounded() -> Self {
-        MemoryBoundedScaling { footprint_exponent: 1.0 }
+        MemoryBoundedScaling {
+            footprint_exponent: 1.0,
+        }
     }
 
     /// `g(n) = n^(1/k)`.
@@ -127,7 +129,10 @@ mod tests {
     fn external_factor_plugs_into_the_model() {
         use crate::model::IpsoModel;
         let m = MemoryBoundedScaling::new(2.0).unwrap();
-        let model = IpsoModel::builder(0.9).external(m.external_factor()).build().unwrap();
+        let model = IpsoModel::builder(0.9)
+            .external(m.external_factor())
+            .build()
+            .unwrap();
         let direct = classic::sun_ni(0.9, 64.0, |v| v.sqrt()).unwrap();
         assert!((model.speedup(64.0).unwrap() - direct).abs() < 1e-9);
     }

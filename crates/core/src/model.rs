@@ -92,10 +92,16 @@ impl IpsoModelBuilder {
         self.internal.validate_structure()?;
         self.induced.validate_structure()?;
 
-        let external =
-            if self.normalize { self.external.normalized()? } else { self.external.clone() };
-        let internal =
-            if self.normalize { self.internal.normalized()? } else { self.internal.clone() };
+        let external = if self.normalize {
+            self.external.normalized()?
+        } else {
+            self.external.clone()
+        };
+        let internal = if self.normalize {
+            self.internal.normalized()?
+        } else {
+            self.internal.clone()
+        };
 
         for (name, factor) in [("EX", &external), ("IN", &internal)] {
             let at_one = factor.eval(1.0);
@@ -111,10 +117,19 @@ impl IpsoModelBuilder {
         // workload). Tolerate tiny fitting residue.
         let q1 = self.induced.eval(1.0);
         if q1.abs() > 1e-6 {
-            return Err(ModelError::BoundaryCondition { factor: "q", expected: 0.0, actual: q1 });
+            return Err(ModelError::BoundaryCondition {
+                factor: "q",
+                expected: 0.0,
+                actual: q1,
+            });
         }
 
-        Ok(IpsoModel { eta: self.eta, external, internal, induced: self.induced })
+        Ok(IpsoModel {
+            eta: self.eta,
+            external,
+            internal,
+            induced: self.induced,
+        })
     }
 }
 
@@ -271,8 +286,10 @@ mod tests {
 
     #[test]
     fn gustafson_special_case() {
-        let model =
-            IpsoModel::builder(0.6).external(ScalingFactor::linear()).build().unwrap();
+        let model = IpsoModel::builder(0.6)
+            .external(ScalingFactor::linear())
+            .build()
+            .unwrap();
         for n in [1.0, 4.0, 100.0] {
             let expected = 0.6 * n + 0.4;
             assert!((model.speedup(n).unwrap() - expected).abs() < 1e-12);
@@ -329,9 +346,8 @@ mod tests {
             .unwrap();
         let n = 12.0;
         let lhs = model.parallel_time(n);
-        let rhs = model.parallel_workload(n) / n
-            + model.serial_workload(n)
-            + model.induced_workload(n);
+        let rhs =
+            model.parallel_workload(n) / n + model.serial_workload(n) + model.induced_workload(n);
         assert!((lhs - rhs).abs() < 1e-12);
     }
 
@@ -367,7 +383,10 @@ mod tests {
             .normalize(false)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::BoundaryCondition { factor: "IN", .. }));
+        assert!(matches!(
+            err,
+            ModelError::BoundaryCondition { factor: "IN", .. }
+        ));
     }
 
     #[test]
@@ -376,7 +395,10 @@ mod tests {
             .induced(ScalingFactor::Constant(0.5))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::BoundaryCondition { factor: "q", .. }));
+        assert!(matches!(
+            err,
+            ModelError::BoundaryCondition { factor: "q", .. }
+        ));
     }
 
     #[test]
@@ -388,8 +410,10 @@ mod tests {
 
     #[test]
     fn curve_is_dense_and_ordered() {
-        let model =
-            IpsoModel::builder(0.9).external(ScalingFactor::linear()).build().unwrap();
+        let model = IpsoModel::builder(0.9)
+            .external(ScalingFactor::linear())
+            .build()
+            .unwrap();
         let curve = model.speedup_curve(1..=10).unwrap();
         assert_eq!(curve.len(), 10);
         assert!(curve.windows(2).all(|w| w[1].1 > w[0].1));

@@ -48,7 +48,10 @@ impl Round {
 
     /// A fixed-size round (`EX(n) = 1`).
     pub fn fixed_size(name: &str, wp1: f64, ws1: f64) -> Round {
-        Round { external: ScalingFactor::one(), ..Round::fixed_time(name, wp1, ws1) }
+        Round {
+            external: ScalingFactor::one(),
+            ..Round::fixed_time(name, wp1, ws1)
+        }
     }
 
     /// Sets the internal scaling factor.
@@ -141,7 +144,10 @@ impl MultiRoundJob {
     /// and propagates round validation errors.
     pub fn new(rounds: Vec<Round>) -> Result<MultiRoundJob, ModelError> {
         if rounds.is_empty() {
-            return Err(ModelError::InsufficientData { points: 0, required: 1 });
+            return Err(ModelError::InsufficientData {
+                points: 0,
+                required: 1,
+            });
         }
         for r in &rounds {
             r.validate()?;
@@ -178,7 +184,11 @@ impl MultiRoundJob {
     /// Returns [`ModelError::InvalidScaleOut`] for invalid `n`.
     pub fn parallel_time(&self, n: f64) -> Result<f64, ModelError> {
         check_scale_out(n)?;
-        Ok(self.rounds.iter().map(|r| r.wp(n) / n + r.wo(n) + r.ws(n)).sum())
+        Ok(self
+            .rounds
+            .iter()
+            .map(|r| r.wp(n) / n + r.wo(n) + r.ws(n))
+            .sum())
     }
 
     /// The multi-round speedup `S(n)`.
@@ -223,8 +233,8 @@ mod tests {
 
     #[test]
     fn single_round_matches_ipso_model() {
-        let round = Round::fixed_time("only", 9.0, 1.0)
-            .with_internal(ScalingFactor::affine(0.36, 0.64));
+        let round =
+            Round::fixed_time("only", 9.0, 1.0).with_internal(ScalingFactor::affine(0.36, 0.64));
         let job = MultiRoundJob::new(vec![round]).unwrap();
         let model = IpsoModel::builder(0.9)
             .external(ScalingFactor::linear())
@@ -272,19 +282,22 @@ mod tests {
         // A Gustafson round plus a pathological broadcast round: the
         // aggregate peaks (the pathology wins at scale) but later than the
         // pathological round alone.
-        let pathological = MultiRoundJob::new(vec![Round::fixed_size("bcast", 100.0, 0.0)
-            .with_induced(ScalingFactor::induced(0.001, 2.0))])
-        .unwrap();
+        let pathological =
+            MultiRoundJob::new(vec![Round::fixed_size("bcast", 100.0, 0.0)
+                .with_induced(ScalingFactor::induced(0.001, 2.0))])
+            .unwrap();
         let blended = MultiRoundJob::new(vec![
             Round::fixed_time("clean", 100.0, 0.0),
-            Round::fixed_size("bcast", 100.0, 0.0)
-                .with_induced(ScalingFactor::induced(0.001, 2.0)),
+            Round::fixed_size("bcast", 100.0, 0.0).with_induced(ScalingFactor::induced(0.001, 2.0)),
         ])
         .unwrap();
         let (p_alone, _) = pathological.peak_speedup(2000).unwrap();
         let (p_blend, _) = blended.peak_speedup(2000).unwrap();
         assert!(p_alone > 1 && p_alone < 2000);
-        assert!(p_blend >= p_alone, "blend peak {p_blend} vs alone {p_alone}");
+        assert!(
+            p_blend >= p_alone,
+            "blend peak {p_blend} vs alone {p_alone}"
+        );
     }
 
     #[test]
@@ -309,7 +322,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         assert!(MultiRoundJob::new(Vec::new()).is_err());
-        let bad = Round { wp1: -1.0, ..Round::fixed_time("x", 1.0, 1.0) };
+        let bad = Round {
+            wp1: -1.0,
+            ..Round::fixed_time("x", 1.0, 1.0)
+        };
         assert!(MultiRoundJob::new(vec![bad]).is_err());
         let zero = Round::fixed_time("z", 0.0, 0.0);
         assert!(MultiRoundJob::new(vec![zero]).is_err());

@@ -59,7 +59,11 @@ impl ScalingPredictor {
             runs.iter().copied().filter(|r| r.n <= window).collect();
         let estimates = estimate_factors(&windowed)?;
         let model = estimates.to_model()?;
-        Ok(ScalingPredictor { estimates, model, window })
+        Ok(ScalingPredictor {
+            estimates,
+            model,
+            window,
+        })
     }
 
     /// Fits the scaling factors using only runs in the `[lo, hi]` window
@@ -73,7 +77,11 @@ impl ScalingPredictor {
     pub fn fit_range(runs: &[RunMeasurement], lo: u32, hi: u32) -> Result<Self, ModelError> {
         let estimates = crate::estimate::estimate_factors_windowed(runs, lo, hi)?;
         let model = estimates.to_model()?;
-        Ok(ScalingPredictor { estimates, model, window: hi })
+        Ok(ScalingPredictor {
+            estimates,
+            model,
+            window: hi,
+        })
     }
 
     /// The factor estimates behind the prediction.
@@ -167,7 +175,10 @@ impl FixedSizePredictor {
     /// samples, or regression errors.
     pub fn fit(samples: &[FixedSizeSample]) -> Result<Self, ModelError> {
         if samples.len() < 3 {
-            return Err(ModelError::InsufficientData { points: samples.len(), required: 3 });
+            return Err(ModelError::InsufficientData {
+                points: samples.len(),
+                required: 3,
+            });
         }
         let ns: Vec<f64> = samples.iter().map(|s| s.n as f64).collect();
         let tmax: Vec<f64> = samples.iter().map(|s| s.max_task_time).collect();
@@ -242,10 +253,26 @@ mod tests {
     /// The paper's Table I.
     fn table1() -> Vec<FixedSizeSample> {
         vec![
-            FixedSizeSample { n: 10, max_task_time: 209.0, overhead: 5.5 },
-            FixedSizeSample { n: 30, max_task_time: 79.3, overhead: 17.7 },
-            FixedSizeSample { n: 60, max_task_time: 43.7, overhead: 36.0 },
-            FixedSizeSample { n: 90, max_task_time: 31.1, overhead: 54.3 },
+            FixedSizeSample {
+                n: 10,
+                max_task_time: 209.0,
+                overhead: 5.5,
+            },
+            FixedSizeSample {
+                n: 30,
+                max_task_time: 79.3,
+                overhead: 17.7,
+            },
+            FixedSizeSample {
+                n: 60,
+                max_task_time: 43.7,
+                overhead: 36.0,
+            },
+            FixedSizeSample {
+                n: 90,
+                max_task_time: 31.1,
+                overhead: 54.3,
+            },
         ]
     }
 
@@ -310,7 +337,11 @@ mod tests {
             let predicted = predictor.predict(r.n as f64).unwrap();
             let measured = r.speedup();
             let rel = (predicted - measured).abs() / measured;
-            assert!(rel < 0.02, "n = {}: predicted {predicted}, measured {measured}", r.n);
+            assert!(
+                rel < 0.02,
+                "n = {}: predicted {predicted}, measured {measured}",
+                r.n
+            );
         }
     }
 

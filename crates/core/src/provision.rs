@@ -25,7 +25,10 @@ impl Default for CostModel {
     fn default() -> Self {
         // Approximate 2019 EC2 on-demand pricing: m4.large $0.10/h,
         // m4.4xlarge $0.80/h.
-        CostModel { worker_hourly: 0.10, master_hourly: 0.80 }
+        CostModel {
+            worker_hourly: 0.10,
+            master_hourly: 0.80,
+        }
     }
 }
 
@@ -43,7 +46,10 @@ impl CostModel {
         {
             return Err(ModelError::NonFinite("cost rate"));
         }
-        Ok(CostModel { worker_hourly, master_hourly })
+        Ok(CostModel {
+            worker_hourly,
+            master_hourly,
+        })
     }
 
     /// Hourly cluster cost at scale-out degree `n`.
@@ -106,7 +112,11 @@ impl Provisioner {
         if !t1_seconds.is_finite() || t1_seconds <= 0.0 {
             return Err(ModelError::NonFinite("baseline job time"));
         }
-        Ok(Provisioner { model, t1: t1_seconds, cost })
+        Ok(Provisioner {
+            model,
+            t1: t1_seconds,
+            cost,
+        })
     }
 
     /// The underlying model.
@@ -129,8 +139,18 @@ impl Provisioner {
         let speedup = self.model.speedup(nf)?;
         let job_time = self.t1 * self.model.parallel_time(nf);
         let job_cost = self.cost.cluster_hourly(n) * job_time / 3600.0;
-        let speedup_per_dollar = if job_cost > 0.0 { speedup / job_cost } else { f64::INFINITY };
-        Ok(ProvisioningPoint { n, speedup, job_time, job_cost, speedup_per_dollar })
+        let speedup_per_dollar = if job_cost > 0.0 {
+            speedup / job_cost
+        } else {
+            f64::INFINITY
+        };
+        Ok(ProvisioningPoint {
+            n,
+            speedup,
+            job_time,
+            job_cost,
+            speedup_per_dollar,
+        })
     }
 
     /// Evaluates all degrees in `[1, n_max]`.
@@ -175,7 +195,7 @@ impl Provisioner {
         for n in 1..=n_max {
             let p = self.evaluate(n)?;
             if p.job_time <= deadline {
-                let better = best.as_ref().map_or(true, |b| p.job_cost < b.job_cost);
+                let better = best.as_ref().is_none_or(|b| p.job_cost < b.job_cost);
                 if better {
                     best = Some(p);
                 }
@@ -255,7 +275,12 @@ mod tests {
         let p = amdahl_provisioner(0.9);
         let fastest = p.fastest(500).unwrap();
         let efficient = p.most_efficient(500).unwrap();
-        assert!(efficient.n < fastest.n, "efficient {} vs fastest {}", efficient.n, fastest.n);
+        assert!(
+            efficient.n < fastest.n,
+            "efficient {} vs fastest {}",
+            efficient.n,
+            fastest.n
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl Default for ReportOptions {
 /// ```
 pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, ModelError> {
     if runs.len() < 4 {
-        return Err(ModelError::InsufficientData { points: runs.len(), required: 4 });
+        return Err(ModelError::InsufficientData {
+            points: runs.len(),
+            required: 4,
+        });
     }
     let curve = speedup_curve_from_runs(runs)?;
     let estimates = estimate_factors(runs)?;
@@ -83,7 +86,11 @@ pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, 
     let coarse = diagnostician.diagnose(&curve, opts.workload)?;
     let refined = diagnostician.refine(&coarse, &estimates)?;
     let predictor = ScalingPredictor::fit(runs, opts.fit_window)?;
-    let t1 = runs.iter().min_by_key(|r| r.n).expect("non-empty").sequential_time();
+    let t1 = runs
+        .iter()
+        .min_by_key(|r| r.n)
+        .expect("non-empty")
+        .sequential_time();
     let provisioner = Provisioner::new(predictor.model().clone(), t1, opts.cost)?;
 
     let mut out = String::new();
@@ -91,8 +98,12 @@ pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, 
     writeln!(w, "# IPSO scaling analysis").expect("string write");
     writeln!(w).expect("string write");
     writeln!(w, "- workload type: {}", opts.workload).expect("string write");
-    writeln!(w, "- measured degrees: {:?}", curve.ns().iter().map(|v| *v as u32).collect::<Vec<_>>())
-        .expect("string write");
+    writeln!(
+        w,
+        "- measured degrees: {:?}",
+        curve.ns().iter().map(|v| *v as u32).collect::<Vec<_>>()
+    )
+    .expect("string write");
     writeln!(w, "- fit window: n <= {}", opts.fit_window).expect("string write");
 
     writeln!(w, "\n## Measured speedups\n").expect("string write");
@@ -103,14 +114,30 @@ pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, 
     }
 
     writeln!(w, "\n## Fitted scaling factors\n").expect("string write");
-    writeln!(w, "- eta (parallelizable fraction): **{:.4}**", estimates.eta)
-        .expect("string write");
-    writeln!(w, "- EX(n): {:?} ({:?})", estimates.external.shape, estimates.external.factor)
-        .expect("string write");
-    writeln!(w, "- IN(n): {:?} ({:?})", estimates.internal.shape, estimates.internal.factor)
-        .expect("string write");
-    writeln!(w, "- q(n): {:?} ({:?})", estimates.induced.shape, estimates.induced.factor)
-        .expect("string write");
+    writeln!(
+        w,
+        "- eta (parallelizable fraction): **{:.4}**",
+        estimates.eta
+    )
+    .expect("string write");
+    writeln!(
+        w,
+        "- EX(n): {:?} ({:?})",
+        estimates.external.shape, estimates.external.factor
+    )
+    .expect("string write");
+    writeln!(
+        w,
+        "- IN(n): {:?} ({:?})",
+        estimates.internal.shape, estimates.internal.factor
+    )
+    .expect("string write");
+    writeln!(
+        w,
+        "- q(n): {:?} ({:?})",
+        estimates.induced.shape, estimates.induced.factor
+    )
+    .expect("string write");
     if let Ok(params) = estimates.to_asymptotic() {
         writeln!(
             w,
@@ -128,8 +155,11 @@ pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, 
         if bound > 0.0 {
             writeln!(w, "\nEstimated speedup bound: **{bound:.2}**").expect("string write");
         } else if refined.class.peaks() {
-            writeln!(w, "\nThe speedup peaks and then falls — scaling out past the peak harms performance.")
-                .expect("string write");
+            writeln!(
+                w,
+                "\nThe speedup peaks and then falls — scaling out past the peak harms performance."
+            )
+            .expect("string write");
         }
     }
 
@@ -138,22 +168,30 @@ pub fn analyze(runs: &[RunMeasurement], opts: &ReportOptions) -> Result<String, 
     writeln!(w, "|---|---|").expect("string write");
     let mut n = opts.fit_window.max(1) * 2;
     while n <= opts.n_max {
-        writeln!(w, "| {} | {:.2} |", n, predictor.predict(f64::from(n))?)
-            .expect("string write");
+        writeln!(w, "| {} | {:.2} |", n, predictor.predict(f64::from(n))?).expect("string write");
         n *= 2;
     }
 
-    writeln!(w, "\n## Provisioning (worker ${:.2}/h, master ${:.2}/h)\n", opts.cost.worker_hourly, opts.cost.master_hourly)
-        .expect("string write");
+    writeln!(
+        w,
+        "\n## Provisioning (worker ${:.2}/h, master ${:.2}/h)\n",
+        opts.cost.worker_hourly, opts.cost.master_hourly
+    )
+    .expect("string write");
     let fastest = provisioner.fastest(opts.n_max)?;
     let efficient = provisioner.most_efficient(opts.n_max)?;
     let knee = provisioner.knee(0.9, opts.n_max)?;
-    writeln!(w, "| objective | n | speedup | job time (s) | job cost ($) |")
-        .expect("string write");
+    writeln!(
+        w,
+        "| objective | n | speedup | job time (s) | job cost ($) |"
+    )
+    .expect("string write");
     writeln!(w, "|---|---|---|---|---|").expect("string write");
-    for (label, p) in
-        [("fastest", fastest), ("most efficient", efficient), ("90%-of-peak knee", knee)]
-    {
+    for (label, p) in [
+        ("fastest", fastest),
+        ("most efficient", efficient),
+        ("90%-of-peak knee", knee),
+    ] {
         writeln!(
             w,
             "| {label} | {} | {:.2} | {:.1} | {:.4} |",
@@ -210,7 +248,10 @@ mod tests {
 
     #[test]
     fn prediction_rows_cover_the_requested_range() {
-        let opts = ReportOptions { n_max: 128, ..ReportOptions::default() };
+        let opts = ReportOptions {
+            n_max: 128,
+            ..ReportOptions::default()
+        };
         let report = analyze(&sort_like_runs(), &opts).unwrap();
         assert!(report.contains("| 32 |"));
         assert!(report.contains("| 128 |"));

@@ -85,11 +85,12 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
     // (elasticity) or additive perturbation (exponents).
     let eval = |p: &AsymptoticParams| p.speedup(n);
 
-    let elasticity = |lo: AsymptoticParams, hi: AsymptoticParams, h: f64| -> Result<f64, ModelError> {
-        let slo = eval(&lo)?;
-        let shi = eval(&hi)?;
-        Ok((shi.ln() - slo.ln()) / (2.0 * h))
-    };
+    let elasticity =
+        |lo: AsymptoticParams, hi: AsymptoticParams, h: f64| -> Result<f64, ModelError> {
+            let slo = eval(&lo)?;
+            let shi = eval(&hi)?;
+            Ok((shi.ln() - slo.ln()) / (2.0 * h))
+        };
 
     // η: multiplicative elasticity. At the η = 1 boundary the model
     // switches to the serial-free branch (Eq. 17), so the derivative is
@@ -100,8 +101,14 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
         let h_eta = REL_STEP;
         let eta_hi = (params.eta * (1.0 + h_eta)).min(1.0 - 1e-12);
         let eta_lo = params.eta * (1.0 - h_eta);
-        let lo = AsymptoticParams { eta: eta_lo, ..*params };
-        let hi = AsymptoticParams { eta: eta_hi, ..*params };
+        let lo = AsymptoticParams {
+            eta: eta_lo,
+            ..*params
+        };
+        let hi = AsymptoticParams {
+            eta: eta_hi,
+            ..*params
+        };
         let slo = eval(&lo)?;
         let shi = eval(&hi)?;
         (shi.ln() - slo.ln()) / (eta_hi.ln() - eta_lo.ln())
@@ -113,8 +120,14 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
         0.0
     } else {
         elasticity(
-            AsymptoticParams { alpha: params.alpha * (1.0 - REL_STEP), ..*params },
-            AsymptoticParams { alpha: params.alpha * (1.0 + REL_STEP), ..*params },
+            AsymptoticParams {
+                alpha: params.alpha * (1.0 - REL_STEP),
+                ..*params
+            },
+            AsymptoticParams {
+                alpha: params.alpha * (1.0 + REL_STEP),
+                ..*params
+            },
             REL_STEP,
         )?
     };
@@ -124,8 +137,14 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
         0.0
     } else {
         let h = REL_STEP;
-        let lo = AsymptoticParams { delta: params.delta - h, ..*params };
-        let hi = AsymptoticParams { delta: params.delta + h, ..*params };
+        let lo = AsymptoticParams {
+            delta: params.delta - h,
+            ..*params
+        };
+        let hi = AsymptoticParams {
+            delta: params.delta + h,
+            ..*params
+        };
         (eval(&hi)?.ln() - eval(&lo)?.ln()) / (2.0 * h)
     };
 
@@ -134,8 +153,14 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
         0.0
     } else {
         elasticity(
-            AsymptoticParams { beta: params.beta * (1.0 - REL_STEP), ..*params },
-            AsymptoticParams { beta: params.beta * (1.0 + REL_STEP), ..*params },
+            AsymptoticParams {
+                beta: params.beta * (1.0 - REL_STEP),
+                ..*params
+            },
+            AsymptoticParams {
+                beta: params.beta * (1.0 + REL_STEP),
+                ..*params
+            },
             REL_STEP,
         )?
     };
@@ -145,8 +170,14 @@ pub fn sensitivity(params: &AsymptoticParams, n: f64) -> Result<Sensitivity, Mod
         0.0
     } else {
         let h = REL_STEP;
-        let lo = AsymptoticParams { gamma: (params.gamma - h).max(0.0), ..*params };
-        let hi = AsymptoticParams { gamma: params.gamma + h, ..*params };
+        let lo = AsymptoticParams {
+            gamma: (params.gamma - h).max(0.0),
+            ..*params
+        };
+        let hi = AsymptoticParams {
+            gamma: params.gamma + h,
+            ..*params
+        };
         (eval(&hi)?.ln() - eval(&lo)?.ln()) / (hi.gamma - lo.gamma)
     };
 
@@ -170,7 +201,9 @@ pub fn sensitivity_profile(
     params: &AsymptoticParams,
     ns: impl IntoIterator<Item = u32>,
 ) -> Result<Vec<Sensitivity>, ModelError> {
-    ns.into_iter().map(|n| sensitivity(params, f64::from(n))).collect()
+    ns.into_iter()
+        .map(|n| sensitivity(params, f64::from(n)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -112,9 +112,7 @@ impl TaskTimeDistribution {
             TaskTimeDistribution::Deterministic { value } => value,
             TaskTimeDistribution::Uniform { lo, hi } => lo + (hi - lo) * nf / (nf + 1.0),
             TaskTimeDistribution::Exponential { mean } => mean * harmonic(n),
-            TaskTimeDistribution::ShiftedExponential { shift, mean } => {
-                shift + mean * harmonic(n)
-            }
+            TaskTimeDistribution::ShiftedExponential { shift, mean } => shift + mean * harmonic(n),
             TaskTimeDistribution::Pareto { scale, shape } => {
                 ipso_sim::pareto_expected_max(scale, shape, n)
             }
@@ -215,12 +213,26 @@ impl StochasticIpso {
             return Err(ModelError::NonFinite("serial merge time Ws(1)"));
         }
         let external = external.normalized()?;
-        let internal = if ws1 > 0.0 { internal.normalized()? } else { internal };
+        let internal = if ws1 > 0.0 {
+            internal.normalized()?
+        } else {
+            internal
+        };
         let q1 = induced.eval(1.0);
         if q1.abs() > 1e-6 {
-            return Err(ModelError::BoundaryCondition { factor: "q", expected: 0.0, actual: q1 });
+            return Err(ModelError::BoundaryCondition {
+                factor: "q",
+                expected: 0.0,
+                actual: q1,
+            });
         }
-        Ok(StochasticIpso { base_task, ws1, external, internal, induced })
+        Ok(StochasticIpso {
+            base_task,
+            ws1,
+            external,
+            internal,
+            induced,
+        })
     }
 
     /// Parallelizable fraction `η` at `n = 1` (paper Eq. 9).
@@ -308,14 +320,27 @@ mod tests {
 
     #[test]
     fn means_are_correct() {
-        assert_eq!(TaskTimeDistribution::Deterministic { value: 3.0 }.mean(), 3.0);
-        assert_eq!(TaskTimeDistribution::Uniform { lo: 2.0, hi: 4.0 }.mean(), 3.0);
-        assert_eq!(TaskTimeDistribution::Exponential { mean: 5.0 }.mean(), 5.0);
         assert_eq!(
-            TaskTimeDistribution::ShiftedExponential { shift: 1.0, mean: 2.0 }.mean(),
+            TaskTimeDistribution::Deterministic { value: 3.0 }.mean(),
             3.0
         );
-        let p = TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.0 };
+        assert_eq!(
+            TaskTimeDistribution::Uniform { lo: 2.0, hi: 4.0 }.mean(),
+            3.0
+        );
+        assert_eq!(TaskTimeDistribution::Exponential { mean: 5.0 }.mean(), 5.0);
+        assert_eq!(
+            TaskTimeDistribution::ShiftedExponential {
+                shift: 1.0,
+                mean: 2.0
+            }
+            .mean(),
+            3.0
+        );
+        let p = TaskTimeDistribution::Pareto {
+            scale: 1.0,
+            shape: 2.0,
+        };
         assert_eq!(p.mean(), 2.0);
     }
 
@@ -335,7 +360,10 @@ mod tests {
         for dist in [
             TaskTimeDistribution::Uniform { lo: 1.0, hi: 2.0 },
             TaskTimeDistribution::Exponential { mean: 1.0 },
-            TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.5 },
+            TaskTimeDistribution::Pareto {
+                scale: 1.0,
+                shape: 2.5,
+            },
         ] {
             let mut prev = 0.0;
             for n in [1, 2, 4, 8, 16] {
@@ -349,11 +377,17 @@ mod tests {
     #[test]
     fn pareto_expected_max_is_exact() {
         // E[max of 1] = the mean, now to machine precision (analytic).
-        let p = TaskTimeDistribution::Pareto { scale: 1.0, shape: 3.0 };
+        let p = TaskTimeDistribution::Pareto {
+            scale: 1.0,
+            shape: 3.0,
+        };
         let e1 = p.expected_max(1).unwrap();
         assert!((e1 - p.mean()).abs() < 1e-10, "E[max of 1] = {e1}");
         // E[max of 2] for shape 2: 2·B(2, 0.5) = 2·(Γ(2)Γ(0.5)/Γ(2.5)) = 8/3.
-        let p2 = TaskTimeDistribution::Pareto { scale: 1.0, shape: 2.0 };
+        let p2 = TaskTimeDistribution::Pareto {
+            scale: 1.0,
+            shape: 2.0,
+        };
         assert!((p2.expected_max(2).unwrap() - 8.0 / 3.0).abs() < 1e-10);
     }
 
@@ -371,7 +405,10 @@ mod tests {
         for n in [1u32, 4, 16, 64] {
             let expected = crate::classic::gustafson(eta, n as f64).unwrap();
             let got = det.speedup(n).unwrap();
-            assert!((got - expected).abs() < 1e-9, "n = {n}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "n = {n}: {got} vs {expected}"
+            );
         }
     }
 
@@ -441,10 +478,21 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_distributions() {
-        assert!(TaskTimeDistribution::Deterministic { value: 0.0 }.validate().is_err());
-        assert!(TaskTimeDistribution::Uniform { lo: 2.0, hi: 1.0 }.validate().is_err());
-        assert!(TaskTimeDistribution::Pareto { scale: 1.0, shape: 1.0 }.validate().is_err());
-        assert!(TaskTimeDistribution::Exponential { mean: 1.0 }.validate().is_ok());
+        assert!(TaskTimeDistribution::Deterministic { value: 0.0 }
+            .validate()
+            .is_err());
+        assert!(TaskTimeDistribution::Uniform { lo: 2.0, hi: 1.0 }
+            .validate()
+            .is_err());
+        assert!(TaskTimeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(TaskTimeDistribution::Exponential { mean: 1.0 }
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -458,7 +506,11 @@ mod tests {
         )
         .unwrap();
         let curve = m.speedup_curve([1, 10, 30, 60, 90, 150]).unwrap();
-        let peak = curve.iter().cloned().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let peak = curve
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert!(peak.0 > 1 && peak.0 < 150, "peak at {:?}", peak);
         assert!(curve.last().unwrap().1 < peak.1);
     }

@@ -165,9 +165,7 @@ pub fn classify(
     }
 }
 
-fn classify_fixed_time(
-    p: &AsymptoticParams,
-) -> Result<(ScalingClass, Option<f64>), ModelError> {
+fn classify_fixed_time(p: &AsymptoticParams) -> Result<(ScalingClass, Option<f64>), ModelError> {
     if !(-EXP_EPS..=1.0 + EXP_EPS).contains(&p.delta) {
         return Err(ModelError::InvalidFactor {
             factor: "EX",
@@ -222,9 +220,7 @@ fn classify_fixed_time(
     Ok((ScalingClass::FixedTime(class), bound))
 }
 
-fn classify_fixed_size(
-    p: &AsymptoticParams,
-) -> Result<(ScalingClass, Option<f64>), ModelError> {
+fn classify_fixed_size(p: &AsymptoticParams) -> Result<(ScalingClass, Option<f64>), ModelError> {
     if p.delta.abs() > EXP_EPS {
         return Err(ModelError::InvalidFactor {
             factor: "EX",
@@ -275,7 +271,8 @@ mod tests {
 
     #[test]
     fn gustafson_is_type_it() {
-        let (class, bound) = classify(&pt(0.8, 1.0, 1.0, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
+        let (class, bound) =
+            classify(&pt(0.8, 1.0, 1.0, 0.0, 0.0), WorkloadType::FixedTime).unwrap();
         assert_eq!(class, ScalingClass::FixedTime(FixedTimeClass::It));
         assert_eq!(bound, None);
         assert!(class.is_unbounded());
@@ -344,7 +341,8 @@ mod tests {
 
     #[test]
     fn fixed_size_perfect_linear_is_special() {
-        let (class, bound) = classify(&pt(1.0, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
+        let (class, bound) =
+            classify(&pt(1.0, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
         assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::Is));
         assert_eq!(bound, None);
     }
@@ -358,7 +356,8 @@ mod tests {
 
     #[test]
     fn amdahl_is_iiis1() {
-        let (class, bound) = classify(&pt(0.9, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
+        let (class, bound) =
+            classify(&pt(0.9, 1.0, 0.0, 0.0, 0.0), WorkloadType::FixedSize).unwrap();
         assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::IIIs1));
         assert!((bound.unwrap() - 10.0).abs() < 1e-12);
         // Amdahl-like bounds are expected, not pathological.
@@ -368,7 +367,8 @@ mod tests {
     #[test]
     fn collaborative_filtering_is_ivs() {
         // The paper's CF case: η = 1, γ = 2.
-        let (class, bound) = classify(&pt(1.0, 1.0, 0.0, 0.006, 2.0), WorkloadType::FixedSize).unwrap();
+        let (class, bound) =
+            classify(&pt(1.0, 1.0, 0.0, 0.006, 2.0), WorkloadType::FixedSize).unwrap();
         assert_eq!(class, ScalingClass::FixedSize(FixedSizeClass::IVs));
         assert_eq!(bound, Some(0.0));
         assert!(class.is_pathological());

@@ -93,7 +93,10 @@ pub fn apply(model: &IpsoModel, scenario: &Scenario) -> Result<IpsoModel, ModelE
             if !factor.is_finite() || *factor < 0.0 {
                 return Err(ModelError::NonFinite("scenario scale factor"));
             }
-            (scale_growth(model.internal(), *factor), model.induced().clone())
+            (
+                scale_growth(model.internal(), *factor),
+                model.induced().clone(),
+            )
         }
         Scenario::EliminateInternalScaling => (ScalingFactor::one(), model.induced().clone()),
         Scenario::ScaleInduced { factor } => {
@@ -107,13 +110,17 @@ pub fn apply(model: &IpsoModel, scenario: &Scenario) -> Result<IpsoModel, ModelE
                 return Err(ModelError::NonFinite("scenario order reduction"));
             }
             let reduced = match model.induced() {
-                ScalingFactor::ShiftedPower { coefficient, exponent } => {
-                    ScalingFactor::ShiftedPower {
-                        coefficient: *coefficient,
-                        exponent: (exponent - delta_gamma).max(0.0),
-                    }
-                }
-                ScalingFactor::Power { coefficient, exponent } => ScalingFactor::Power {
+                ScalingFactor::ShiftedPower {
+                    coefficient,
+                    exponent,
+                } => ScalingFactor::ShiftedPower {
+                    coefficient: *coefficient,
+                    exponent: (exponent - delta_gamma).max(0.0),
+                },
+                ScalingFactor::Power {
+                    coefficient,
+                    exponent,
+                } => ScalingFactor::Power {
                     coefficient: *coefficient,
                     exponent: (exponent - delta_gamma).max(0.0),
                 },
@@ -138,7 +145,10 @@ fn scale_growth(factor: &ScalingFactor, k: f64) -> ScalingFactor {
         ScalingFactor::Affine { slope, intercept } => {
             // f(1) = slope + intercept; keep that point, scale the slope.
             let at_one = slope + intercept;
-            ScalingFactor::Affine { slope: slope * k, intercept: at_one - slope * k }
+            ScalingFactor::Affine {
+                slope: slope * k,
+                intercept: at_one - slope * k,
+            }
         }
         other => {
             // Generic fallback: tabulate 1 + k·(f(n) − 1) over a wide grid.
@@ -228,7 +238,10 @@ mod tests {
         let (peak_after, s_after) = fixed.peak_speedup(500).unwrap();
         // Quadratic → linear q: with γ = 1 the speedup becomes bounded
         // but monotone — no interior peak any more.
-        assert!(peak_after > 2 * peak_before, "{peak_before} -> {peak_after}");
+        assert!(
+            peak_after > 2 * peak_before,
+            "{peak_before} -> {peak_after}"
+        );
         assert!(s_after > model.peak_speedup(500).unwrap().1);
     }
 
@@ -261,8 +274,7 @@ mod tests {
     #[test]
     fn internal_scenarios_do_not_change_serial_free_models() {
         let model = cf_like(); // eta = 1: no serial portion at all
-        let out =
-            rank_scenarios(&model, &[Scenario::EliminateInternalScaling], 100.0).unwrap();
+        let out = rank_scenarios(&model, &[Scenario::EliminateInternalScaling], 100.0).unwrap();
         assert!(out[0].gain().abs() < 1e-9);
     }
 
@@ -271,9 +283,7 @@ mod tests {
         let model = sort_like();
         assert!(apply(&model, &Scenario::ScaleInduced { factor: -1.0 }).is_err());
         assert!(apply(&model, &Scenario::ScaleInternalGrowth { factor: f64::NAN }).is_err());
-        assert!(
-            apply(&model, &Scenario::ReduceInducedOrder { delta_gamma: -0.5 }).is_err()
-        );
+        assert!(apply(&model, &Scenario::ReduceInducedOrder { delta_gamma: -0.5 }).is_err());
     }
 
     #[test]

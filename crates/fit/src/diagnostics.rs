@@ -28,13 +28,23 @@ impl GoodnessOfFit {
     /// Panics if `observed` and `predicted` have different lengths or are
     /// empty.
     pub fn from_predictions(observed: &[f64], predicted: &[f64], n_params: usize) -> Self {
-        assert_eq!(observed.len(), predicted.len(), "observed/predicted length mismatch");
-        assert!(!observed.is_empty(), "diagnostics require at least one point");
+        assert_eq!(
+            observed.len(),
+            predicted.len(),
+            "observed/predicted length mismatch"
+        );
+        assert!(
+            !observed.is_empty(),
+            "diagnostics require at least one point"
+        );
         let n = observed.len();
         let mean = observed.iter().sum::<f64>() / n as f64;
         let ss_tot: f64 = observed.iter().map(|y| (y - mean).powi(2)).sum();
-        let ss_res: f64 =
-            observed.iter().zip(predicted).map(|(y, yhat)| (y - yhat).powi(2)).sum();
+        let ss_res: f64 = observed
+            .iter()
+            .zip(predicted)
+            .map(|(y, yhat)| (y - yhat).powi(2))
+            .sum();
         // For constant data ss_tot is zero; a model that matches exactly has
         // R² = 1, otherwise 0 — the usual degenerate-case convention.
         let r_squared = if ss_tot > 0.0 {
@@ -50,7 +60,14 @@ impl GoodnessOfFit {
             r_squared
         };
         let rmse = (ss_res / n as f64).sqrt();
-        GoodnessOfFit { r_squared, adjusted_r_squared, rmse, ss_res, n_points: n, n_params }
+        GoodnessOfFit {
+            r_squared,
+            adjusted_r_squared,
+            rmse,
+            ss_res,
+            n_points: n,
+            n_params,
+        }
     }
 }
 
@@ -60,14 +77,26 @@ impl GoodnessOfFit {
 ///
 /// Panics if the slices have different lengths.
 pub fn residuals(observed: &[f64], predicted: &[f64]) -> Vec<f64> {
-    assert_eq!(observed.len(), predicted.len(), "observed/predicted length mismatch");
-    observed.iter().zip(predicted).map(|(y, yhat)| y - yhat).collect()
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "observed/predicted length mismatch"
+    );
+    observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, yhat)| y - yhat)
+        .collect()
 }
 
 /// Mean absolute percentage error (in percent). Points where the observation
 /// is zero are skipped; returns `None` when every observation is zero.
 pub fn mape(observed: &[f64], predicted: &[f64]) -> Option<f64> {
-    assert_eq!(observed.len(), predicted.len(), "observed/predicted length mismatch");
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "observed/predicted length mismatch"
+    );
     let mut sum = 0.0;
     let mut count = 0usize;
     for (y, yhat) in observed.iter().zip(predicted) {

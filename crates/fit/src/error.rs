@@ -41,7 +41,10 @@ impl fmt::Display for FitError {
                 write!(f, "x has {x_len} samples but y has {y_len}")
             }
             FitError::TooFewPoints { points, required } => {
-                write!(f, "{points} data points supplied but at least {required} required")
+                write!(
+                    f,
+                    "{points} data points supplied but at least {required} required"
+                )
             }
             FitError::Singular => write!(f, "design matrix is singular"),
             FitError::InvalidDomain(msg) => write!(f, "invalid domain: {msg}"),
@@ -59,10 +62,16 @@ impl Error for FitError {}
 /// and contain only finite values.
 pub(crate) fn validate_xy(x: &[f64], y: &[f64], required: usize) -> Result<(), FitError> {
     if x.len() != y.len() {
-        return Err(FitError::LengthMismatch { x_len: x.len(), y_len: y.len() });
+        return Err(FitError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
     }
     if x.len() < required {
-        return Err(FitError::TooFewPoints { points: x.len(), required });
+        return Err(FitError::TooFewPoints {
+            points: x.len(),
+            required,
+        });
     }
     if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
         return Err(FitError::NonFinite);
@@ -77,14 +86,26 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(FitError, &str)> = vec![
-            (FitError::LengthMismatch { x_len: 3, y_len: 4 }, "x has 3 samples but y has 4"),
             (
-                FitError::TooFewPoints { points: 1, required: 2 },
+                FitError::LengthMismatch { x_len: 3, y_len: 4 },
+                "x has 3 samples but y has 4",
+            ),
+            (
+                FitError::TooFewPoints {
+                    points: 1,
+                    required: 2,
+                },
                 "1 data points supplied but at least 2 required",
             ),
             (FitError::Singular, "design matrix is singular"),
-            (FitError::InvalidDomain("x must be positive"), "invalid domain: x must be positive"),
-            (FitError::NoConvergence { iterations: 50 }, "solver did not converge after 50 iterations"),
+            (
+                FitError::InvalidDomain("x must be positive"),
+                "invalid domain: x must be positive",
+            ),
+            (
+                FitError::NoConvergence { iterations: 50 },
+                "solver did not converge after 50 iterations",
+            ),
             (FitError::NonFinite, "non-finite value encountered"),
         ];
         for (err, expected) in cases {
@@ -101,7 +122,13 @@ mod tests {
     #[test]
     fn validate_rejects_too_few_points() {
         let err = validate_xy(&[1.0], &[1.0], 2).unwrap_err();
-        assert_eq!(err, FitError::TooFewPoints { points: 1, required: 2 });
+        assert_eq!(
+            err,
+            FitError::TooFewPoints {
+                points: 1,
+                required: 2
+            }
+        );
     }
 
     #[test]

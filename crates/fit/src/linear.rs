@@ -55,7 +55,11 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> Result<LineFit, FitError> {
     if sxx < 1e-18 {
         return Err(FitError::Singular);
     }
-    let sxy: f64 = x.iter().zip(y).map(|(xv, yv)| (xv - mean_x) * (yv - mean_y)).sum();
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xv, yv)| (xv - mean_x) * (yv - mean_y))
+        .sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
 
@@ -63,7 +67,12 @@ pub fn fit_line(x: &[f64], y: &[f64]) -> Result<LineFit, FitError> {
     let gof = GoodnessOfFit::from_predictions(y, &predicted, 2);
     let dof = (x.len() as f64 - 2.0).max(1.0);
     let slope_stderr = (gof.ss_res / dof / sxx).sqrt();
-    Ok(LineFit { slope, intercept, slope_stderr, gof })
+    Ok(LineFit {
+        slope,
+        intercept,
+        slope_stderr,
+        gof,
+    })
 }
 
 /// Fits `y = b·x` (a line through the origin) by least squares.
@@ -87,7 +96,12 @@ pub fn fit_line_through_origin(x: &[f64], y: &[f64]) -> Result<LineFit, FitError
     let gof = GoodnessOfFit::from_predictions(y, &predicted, 1);
     let dof = (x.len() as f64 - 1.0).max(1.0);
     let slope_stderr = (gof.ss_res / dof / sxx).sqrt();
-    Ok(LineFit { slope, intercept: 0.0, slope_stderr, gof })
+    Ok(LineFit {
+        slope,
+        intercept: 0.0,
+        slope_stderr,
+        gof,
+    })
 }
 
 #[cfg(test)]
@@ -150,6 +164,12 @@ mod tests {
     #[test]
     fn too_few_points_rejected() {
         let err = fit_line(&[1.0], &[1.0]).unwrap_err();
-        assert_eq!(err, FitError::TooFewPoints { points: 1, required: 2 });
+        assert_eq!(
+            err,
+            FitError::TooFewPoints {
+                points: 1,
+                required: 2
+            }
+        );
     }
 }

@@ -33,7 +33,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -59,13 +63,21 @@ impl Matrix {
             assert_eq!(row.len(), cols, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a column vector from a slice.
     pub fn column(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "column vector must be non-empty");
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -251,7 +263,10 @@ impl Matrix {
     ///
     /// Panics if the matrix has more than one column.
     pub fn into_column_vec(self) -> Vec<f64> {
-        assert_eq!(self.cols, 1, "into_column_vec requires a single-column matrix");
+        assert_eq!(
+            self.cols, 1,
+            "into_column_vec requires a single-column matrix"
+        );
         self.data
     }
 }
@@ -310,7 +325,9 @@ mod tests {
         let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let design = Matrix::from_rows(&row_refs);
         let y = Matrix::column(&xs.iter().map(|&x| 3.0 + 2.0 * x).collect::<Vec<_>>());
-        let beta = Matrix::least_squares(&design, &y).unwrap().into_column_vec();
+        let beta = Matrix::least_squares(&design, &y)
+            .unwrap()
+            .into_column_vec();
         assert!((beta[0] - 3.0).abs() < 1e-10);
         assert!((beta[1] - 2.0).abs() < 1e-10);
     }

@@ -91,7 +91,10 @@ where
 {
     let p = initial.len();
     if p == 0 {
-        return Err(FitError::TooFewPoints { points: 0, required: 1 });
+        return Err(FitError::TooFewPoints {
+            points: 0,
+            required: 1,
+        });
     }
     validate_xy(x, y, p)?;
     if initial.iter().any(|v| !v.is_finite()) {
@@ -154,8 +157,7 @@ where
                     continue;
                 }
             };
-            let candidate: Vec<f64> =
-                params.iter().zip(&delta).map(|(pv, dv)| pv + dv).collect();
+            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(pv, dv)| pv + dv).collect();
             match residuals(&candidate) {
                 Ok(rc) => {
                     let new_cost = ssr(&rc);
@@ -171,7 +173,11 @@ where
                             let predicted: Vec<f64> =
                                 x.iter().map(|&xi| model(&params, xi)).collect();
                             let gof = GoodnessOfFit::from_predictions(y, &predicted, p);
-                            return Ok(NonlinearFit { params, gof, iterations });
+                            return Ok(NonlinearFit {
+                                params,
+                                gof,
+                                iterations,
+                            });
                         }
                         break;
                     }
@@ -185,7 +191,11 @@ where
             if cost < 1e-20 || lambda > 1e12 {
                 let predicted: Vec<f64> = x.iter().map(|&xi| model(&params, xi)).collect();
                 let gof = GoodnessOfFit::from_predictions(y, &predicted, p);
-                return Ok(NonlinearFit { params, gof, iterations });
+                return Ok(NonlinearFit {
+                    params,
+                    gof,
+                    iterations,
+                });
             }
             return Err(FitError::NoConvergence { iterations });
         }
@@ -195,7 +205,11 @@ where
     // best point found rather than failing, mirroring common LM libraries.
     let predicted: Vec<f64> = x.iter().map(|&xi| model(&params, xi)).collect();
     let gof = GoodnessOfFit::from_predictions(y, &predicted, p);
-    Ok(NonlinearFit { params, gof, iterations })
+    Ok(NonlinearFit {
+        params,
+        gof,
+        iterations,
+    })
 }
 
 #[cfg(test)]
@@ -309,6 +323,10 @@ mod tests {
             &NonlinearOptions::default(),
         )
         .unwrap();
-        assert!((fit.params[1] - 1.8).abs() < 0.02, "gamma = {}", fit.params[1]);
+        assert!(
+            (fit.params[1] - 1.8).abs() < 0.02,
+            "gamma = {}",
+            fit.params[1]
+        );
     }
 }

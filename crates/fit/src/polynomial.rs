@@ -37,13 +37,19 @@ impl PolynomialFit {
 
     /// Evaluates the fitted polynomial at `x` (Horner's method).
     pub fn predict(&self, x: f64) -> f64 {
-        self.coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
     }
 
     /// Returns the highest-power coefficient, i.e. the leading term the
     /// asymptotic analysis in the paper keeps (Eqs. 14–15).
     pub fn leading_coefficient(&self) -> f64 {
-        *self.coefficients.last().expect("polynomial has at least one coefficient")
+        *self
+            .coefficients
+            .last()
+            .expect("polynomial has at least one coefficient")
     }
 }
 
@@ -109,7 +115,13 @@ mod tests {
     #[test]
     fn too_few_points_for_degree() {
         let err = fit_polynomial(&[1.0, 2.0], &[1.0, 2.0], 2).unwrap_err();
-        assert_eq!(err, FitError::TooFewPoints { points: 2, required: 3 });
+        assert_eq!(
+            err,
+            FitError::TooFewPoints {
+                points: 2,
+                required: 3
+            }
+        );
     }
 
     #[test]

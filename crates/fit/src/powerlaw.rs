@@ -53,19 +53,31 @@ impl PowerLawFit {
 pub fn fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> {
     validate_xy(x, y, 2)?;
     if x.iter().any(|&v| v <= 0.0) {
-        return Err(FitError::InvalidDomain("x must be strictly positive for a power-law fit"));
+        return Err(FitError::InvalidDomain(
+            "x must be strictly positive for a power-law fit",
+        ));
     }
     if y.iter().any(|&v| v <= 0.0) {
-        return Err(FitError::InvalidDomain("y must be strictly positive for a power-law fit"));
+        return Err(FitError::InvalidDomain(
+            "y must be strictly positive for a power-law fit",
+        ));
     }
     let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
     let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
     let line = fit_line(&lx, &ly)?;
     let coefficient = line.intercept.exp();
     let exponent = line.slope;
-    let predicted: Vec<f64> = x.iter().map(|&xv| coefficient * xv.powf(exponent)).collect();
+    let predicted: Vec<f64> = x
+        .iter()
+        .map(|&xv| coefficient * xv.powf(exponent))
+        .collect();
     let gof = GoodnessOfFit::from_predictions(y, &predicted, 2);
-    Ok(PowerLawFit { coefficient, exponent, offset: 0.0, gof })
+    Ok(PowerLawFit {
+        coefficient,
+        exponent,
+        offset: 0.0,
+        gof,
+    })
 }
 
 /// Fits `y = a·x^b + c` by Levenberg–Marquardt, seeded from the plain
@@ -79,7 +91,9 @@ pub fn fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> {
 pub fn fit_power_law_offset(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> {
     validate_xy(x, y, 3)?;
     if x.iter().any(|&v| v <= 0.0) {
-        return Err(FitError::InvalidDomain("x must be strictly positive for a power-law fit"));
+        return Err(FitError::InvalidDomain(
+            "x must be strictly positive for a power-law fit",
+        ));
     }
     let seed = match fit_power_law(x, y) {
         Ok(f) => vec![f.coefficient, f.exponent, 0.0],
@@ -92,8 +106,10 @@ pub fn fit_power_law_offset(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitErro
         &seed,
         &NonlinearOptions::default(),
     )?;
-    let predicted: Vec<f64> =
-        x.iter().map(|&xv| fit.params[0] * xv.powf(fit.params[1]) + fit.params[2]).collect();
+    let predicted: Vec<f64> = x
+        .iter()
+        .map(|&xv| fit.params[0] * xv.powf(fit.params[1]) + fit.params[2])
+        .collect();
     let gof = GoodnessOfFit::from_predictions(y, &predicted, 3);
     Ok(PowerLawFit {
         coefficient: fit.params[0],
@@ -143,7 +159,11 @@ mod tests {
         let x: Vec<f64> = (1..=15).map(|v| v as f64).collect();
         let y: Vec<f64> = x.iter().map(|v| 0.4 * v.powf(1.5) + 7.0).collect();
         let fit = fit_power_law_offset(&x, &y).unwrap();
-        assert!((fit.coefficient - 0.4).abs() < 1e-4, "a = {}", fit.coefficient);
+        assert!(
+            (fit.coefficient - 0.4).abs() < 1e-4,
+            "a = {}",
+            fit.coefficient
+        );
         assert!((fit.exponent - 1.5).abs() < 1e-4, "b = {}", fit.exponent);
         assert!((fit.offset - 7.0).abs() < 1e-3, "c = {}", fit.offset);
     }

@@ -89,17 +89,28 @@ pub fn fit_two_segment(
             }
         };
         let ss = left.gof.ss_res + right.gof.ss_res;
-        let is_better = best.as_ref().map_or(true, |b| ss < b.gof.ss_res);
+        let is_better = best.as_ref().is_none_or(|b| ss < b.gof.ss_res);
         if is_better {
             let predicted: Vec<f64> = xs
                 .iter()
-                .map(|&xv| if xv <= lx[lx.len() - 1] { left.predict(xv) } else { right.predict(xv) })
+                .map(|&xv| {
+                    if xv <= lx[lx.len() - 1] {
+                        left.predict(xv)
+                    } else {
+                        right.predict(xv)
+                    }
+                })
                 .collect();
             let mut gof = GoodnessOfFit::from_predictions(&ys, &predicted, 5);
             // Use the side-fit residual total as the selection criterion so
             // ties at the boundary do not flip the choice.
             gof.ss_res = ss;
-            best = Some(TwoSegmentFit { breakpoint: lx[lx.len() - 1], left, right, gof });
+            best = Some(TwoSegmentFit {
+                breakpoint: lx[lx.len() - 1],
+                left,
+                right,
+                gof,
+            });
         }
     }
 
@@ -129,8 +140,16 @@ mod tests {
             "breakpoint = {}",
             fit.breakpoint
         );
-        assert!((fit.left.slope - 0.15).abs() < 0.01, "left slope = {}", fit.left.slope);
-        assert!((fit.right.slope - 0.25).abs() < 0.01, "right slope = {}", fit.right.slope);
+        assert!(
+            (fit.left.slope - 0.15).abs() < 0.01,
+            "left slope = {}",
+            fit.left.slope
+        );
+        assert!(
+            (fit.right.slope - 0.25).abs() < 0.01,
+            "right slope = {}",
+            fit.right.slope
+        );
         assert!(fit.slope_increases());
     }
 
@@ -147,12 +166,19 @@ mod tests {
     #[test]
     fn unsorted_input_is_handled() {
         let x = [5.0, 1.0, 3.0, 2.0, 4.0, 8.0, 7.0, 6.0];
-        let y: Vec<f64> = x.iter().map(|&v| if v <= 4.0 { v } else { 3.0 * v - 8.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 4.0 { v } else { 3.0 * v - 8.0 })
+            .collect();
         let fit = fit_two_segment(&x, &y, 2).unwrap();
         assert!((fit.left.slope - 1.0).abs() < 1e-9);
         assert!((fit.right.slope - 3.0).abs() < 1e-9);
         // x = 4 lies on both lines, so either split is a perfect fit.
-        assert!((3.0..=4.0).contains(&fit.breakpoint), "breakpoint = {}", fit.breakpoint);
+        assert!(
+            (3.0..=4.0).contains(&fit.breakpoint),
+            "breakpoint = {}",
+            fit.breakpoint
+        );
         assert!(fit.gof.ss_res < 1e-18);
     }
 
@@ -165,7 +191,10 @@ mod tests {
     #[test]
     fn predict_uses_correct_segment() {
         let x: Vec<f64> = (1..=10).map(|v| v as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v <= 5.0 { v } else { 10.0 * v }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 5.0 { v } else { 10.0 * v })
+            .collect();
         let fit = fit_two_segment(&x, &y, 2).unwrap();
         assert!((fit.predict(2.0) - 2.0).abs() < 1e-6);
         assert!((fit.predict(9.0) - 90.0).abs() < 1e-6);

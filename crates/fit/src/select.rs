@@ -245,8 +245,16 @@ mod tests {
         // Amdahl's curve IS L·x/(x+k) with L = 10, k = 9.
         let ranked = select_model(&x, &y).unwrap();
         assert_eq!(ranked[0].family, ModelFamily::Saturating);
-        assert!((ranked[0].params[0] - 10.0).abs() < 1e-6, "L = {}", ranked[0].params[0]);
-        assert!((ranked[0].params[1] - 9.0).abs() < 1e-6, "k = {}", ranked[0].params[1]);
+        assert!(
+            (ranked[0].params[0] - 10.0).abs() < 1e-6,
+            "L = {}",
+            ranked[0].params[0]
+        );
+        assert!(
+            (ranked[0].params[1] - 9.0).abs() < 1e-6,
+            "k = {}",
+            ranked[0].params[1]
+        );
     }
 
     #[test]
@@ -254,7 +262,13 @@ mod tests {
         let x = xs(30);
         let y: Vec<f64> = x
             .iter()
-            .map(|&v| if v <= 15.0 { 0.15 * v + 0.85 } else { 0.25 * v + 1.6 })
+            .map(|&v| {
+                if v <= 15.0 {
+                    0.15 * v + 0.85
+                } else {
+                    0.25 * v + 1.6
+                }
+            })
             .collect();
         let ranked = select_model(&x, &y).unwrap();
         assert_eq!(ranked[0].family, ModelFamily::TwoSegment);

@@ -139,12 +139,7 @@ pub trait Reducer {
     type Output;
 
     /// Reduces all values of one key to zero or more outputs.
-    fn reduce(
-        &self,
-        key: &Self::Key,
-        values: &[Self::Value],
-        emit: &mut dyn FnMut(Self::Output),
-    );
+    fn reduce(&self, key: &Self::Key, values: &[Self::Value], emit: &mut dyn FnMut(Self::Output));
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! Job configuration.
 
-use ipso_cluster::{
-    CentralScheduler, ClusterSpec, MemoryModel, NetworkModel, StragglerModel,
-};
+use ipso_cluster::{CentralScheduler, ClusterSpec, MemoryModel, NetworkModel, StragglerModel};
 
 use crate::cost::JobCostModel;
 

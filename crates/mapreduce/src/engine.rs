@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use ipso_cluster::{run_wave_schedule, JobTrace, PhaseTimes};
+use ipso_cluster::{run_wave_schedule, JobTrace, PhaseTimes, RunConfig, StragglerModel};
 use ipso_sim::SimRng;
 
 use crate::api::{Mapper, OutputScaling, Reducer};
@@ -66,19 +66,17 @@ where
         combined.insert(k, vs);
     }
     let nominal_out_bytes = match mapper.output_scaling() {
-        OutputScaling::Proportional => {
-            (sample_out_bytes as f64 * split.scale_up()).round() as u64
-        }
+        OutputScaling::Proportional => (sample_out_bytes as f64 * split.scale_up()).round() as u64,
         OutputScaling::Saturating => sample_out_bytes,
     };
-    MappedTask { groups: combined, nominal_out_bytes }
+    MappedTask {
+        groups: combined,
+        nominal_out_bytes,
+    }
 }
 
 /// Merges all tasks' groups and runs the reducer for real.
-fn execute_reduce<R>(
-    reducer: &R,
-    tasks: Vec<MappedTask<R::Key, R::Value>>,
-) -> (Vec<R::Output>, u64)
+fn execute_reduce<R>(reducer: &R, tasks: Vec<MappedTask<R::Key, R::Value>>) -> (Vec<R::Output>, u64)
 where
     R: Reducer,
 {
@@ -162,8 +160,7 @@ where
         let mut finish = ipso_sim::SimTime::ZERO;
         for (record, task) in schedule.records.iter().zip(&mapped) {
             let service = spec.cost.shuffle_time(task.nominal_out_bytes);
-            let grant =
-                server.submit(ipso_sim::SimTime::from_secs(record.end), service);
+            let grant = server.submit(ipso_sim::SimTime::from_secs(record.end), service);
             finish = finish.max(grant.finish);
         }
         (finish.as_secs() - schedule.makespan).max(0.0)
@@ -181,6 +178,20 @@ where
     let setup_extra = (spec.scheduler.job_setup - spec.cost.seq_init).max(0.0);
     let barrier_stretch = (schedule.makespan - max_task).max(0.0);
 
+    if ipso_obs::enabled() {
+        record_scale_out_trace(
+            spec,
+            splits,
+            &durations,
+            &schedule,
+            total_intermediate,
+            shuffle,
+            merge,
+            reduce,
+            setup_extra + barrier_stretch,
+        );
+    }
+
     let trace = JobTrace {
         job: spec.name.clone(),
         n,
@@ -193,8 +204,75 @@ where
         },
         tasks: schedule.records,
         scale_out_overhead: setup_extra + barrier_stretch,
+        config: Some(RunConfig {
+            scheduler: spec.scheduler,
+            straggler: spec.straggler,
+            seed: spec.seed,
+        }),
     };
-    JobRun { trace, output, reduce_input_bytes }
+    JobRun {
+        trace,
+        output,
+        reduce_input_bytes,
+    }
+}
+
+/// Emits the scale-out run's timeline and metrics into `ipso_obs`.
+///
+/// The timeline places the init span at virtual time zero, the split
+/// phase (and its per-executor task spans) right after it, and the
+/// serial shuffle/merge/reduce phases behind the barrier. Tasks whose
+/// straggler multiplier reached the severe threshold get an instant
+/// marker on their executor's track.
+#[allow(clippy::too_many_arguments)]
+fn record_scale_out_trace<I>(
+    spec: &JobSpec,
+    splits: &[InputSplit<I>],
+    durations: &[f64],
+    schedule: &ipso_cluster::TaskSchedule,
+    total_intermediate: u64,
+    shuffle: f64,
+    merge: f64,
+    reduce: f64,
+    overhead: f64,
+) {
+    let t0 = spec.cost.seq_init;
+    ipso_obs::record_span("driver", "init", "mapreduce", 0.0, t0);
+    ipso_obs::record_span("driver", "map", "mapreduce", t0, t0 + schedule.makespan);
+    for (i, record) in schedule.records.iter().enumerate() {
+        let track = format!("executor-{}", record.executor);
+        ipso_obs::record_span(
+            &track,
+            &format!("task-{}", record.task_id),
+            "mapreduce",
+            t0 + record.start,
+            t0 + record.end,
+        );
+        let nominal = spec.cost.map_time(splits[i].nominal_bytes);
+        if nominal > 0.0 && durations[i] / nominal >= StragglerModel::SEVERE_MULTIPLIER {
+            ipso_obs::record_instant(&track, "straggler", "mapreduce", t0 + record.end);
+        }
+    }
+    let barrier = t0 + schedule.makespan;
+    ipso_obs::record_span("driver", "shuffle", "mapreduce", barrier, barrier + shuffle);
+    ipso_obs::record_span(
+        "driver",
+        "merge",
+        "mapreduce",
+        barrier + shuffle,
+        barrier + shuffle + merge,
+    );
+    ipso_obs::record_span(
+        "driver",
+        "reduce",
+        "mapreduce",
+        barrier + shuffle + merge,
+        barrier + shuffle + merge + reduce,
+    );
+    ipso_obs::counter_add("mapreduce.jobs", 1);
+    ipso_obs::counter_add("mapreduce.tasks_launched", durations.len() as u64);
+    ipso_obs::counter_add("mapreduce.shuffle_bytes", total_intermediate);
+    ipso_obs::gauge_add("overhead.scheduling_s", overhead);
 }
 
 /// Runs the paper's sequential job execution model: all tasks
@@ -215,7 +293,10 @@ where
     M: Mapper,
     R: Reducer<Key = M::Key, Value = M::Value>,
 {
-    assert!(!splits.is_empty(), "sequential run needs at least one split");
+    assert!(
+        !splits.is_empty(),
+        "sequential run needs at least one split"
+    );
     spec.validate().expect("invalid job spec");
     let n = splits.len() as u32;
 
@@ -223,8 +304,10 @@ where
         splits.iter().map(|s| execute_map_task(mapper, s)).collect();
 
     let mean_mult = spec.straggler.mean_multiplier();
-    let map_total: f64 =
-        splits.iter().map(|s| spec.cost.map_time(s.nominal_bytes) * mean_mult).sum();
+    let map_total: f64 = splits
+        .iter()
+        .map(|s| spec.cost.map_time(s.nominal_bytes) * mean_mult)
+        .sum();
 
     let total_intermediate: u64 = mapped.iter().map(|t| t.nominal_out_bytes).sum();
     let shuffle = spec.cost.shuffle_time(total_intermediate);
@@ -237,11 +320,26 @@ where
     let trace = JobTrace {
         job: spec.name.clone(),
         n,
-        phases: PhaseTimes { init: spec.cost.seq_init, map: map_total, shuffle, merge, reduce },
+        phases: PhaseTimes {
+            init: spec.cost.seq_init,
+            map: map_total,
+            shuffle,
+            merge,
+            reduce,
+        },
         tasks: Vec::new(),
         scale_out_overhead: 0.0,
+        config: Some(RunConfig {
+            scheduler: spec.scheduler,
+            straggler: spec.straggler,
+            seed: spec.seed,
+        }),
     };
-    JobRun { trace, output, reduce_input_bytes }
+    JobRun {
+        trace,
+        output,
+        reduce_input_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -300,8 +398,9 @@ mod tests {
     fn splits(n: u32, records_per: u64) -> Vec<InputSplit<u64>> {
         (0..n)
             .map(|i| {
-                let records: Vec<u64> =
-                    (0..records_per).map(|j| (u64::from(i) * records_per + j) % 997).collect();
+                let records: Vec<u64> = (0..records_per)
+                    .map(|j| (u64::from(i) * records_per + j) % 997)
+                    .collect();
                 let bytes = records.iter().map(Sizeable::size_bytes).sum::<u64>();
                 InputSplit::new(records, bytes, bytes * 1000)
             })
@@ -313,7 +412,10 @@ mod tests {
         let spec = JobSpec::emr("sort", 4);
         let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
         assert_eq!(run.output.len(), 400);
-        assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+        assert!(
+            run.output.windows(2).all(|w| w[0] <= w[1]),
+            "output must be sorted"
+        );
         // Identical multiset as inputs.
         let mut inputs: Vec<u64> = splits(4, 100).into_iter().flat_map(|s| s.records).collect();
         inputs.sort_unstable();

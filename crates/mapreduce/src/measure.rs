@@ -89,7 +89,12 @@ impl ScalingSweep {
             // as a single task over the whole working set (fixed-size).
             seq.n = n;
             let measurement = measurement_from_runs(&seq, &par);
-            points.push(SweepPoint { n, seq, par, measurement });
+            points.push(SweepPoint {
+                n,
+                seq,
+                par,
+                measurement,
+            });
         }
         points.sort_by_key(|p| p.n);
         ScalingSweep { points }
@@ -119,9 +124,16 @@ mod tests {
         JobTrace {
             job: "t".into(),
             n,
-            phases: PhaseTimes { init: 1.0, map, shuffle, merge, reduce },
+            phases: PhaseTimes {
+                init: 1.0,
+                map,
+                shuffle,
+                merge,
+                reduce,
+            },
             tasks: Vec::new(),
             scale_out_overhead: wo,
+            config: None,
         }
     }
 

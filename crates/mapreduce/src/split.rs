@@ -33,7 +33,11 @@ impl<I> InputSplit<I> {
             nominal_bytes >= sample_bytes,
             "nominal size cannot be smaller than the executed sample"
         );
-        InputSplit { records, sample_bytes, nominal_bytes }
+        InputSplit {
+            records,
+            sample_bytes,
+            nominal_bytes,
+        }
     }
 
     /// A split executed in full (sample == nominal).

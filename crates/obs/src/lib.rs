@@ -1,0 +1,85 @@
+//! Unified observability for the IPSO engines.
+//!
+//! Three pieces, shared by every engine crate:
+//!
+//! * [`span`] — a low-overhead span tracer. Engines record *virtual-time*
+//!   spans (the simulated clock the engines compute analytically) via
+//!   [`record_span`] / [`VirtualSpan`], and *wall-clock* spans via the
+//!   RAII [`WallSpan`] guard.
+//! * [`metrics`] — a global registry of atomic counters, gauges and
+//!   log₂-bucketed histograms.
+//! * [`perfetto`] — a Chrome trace-event (Perfetto-loadable) JSON
+//!   exporter over the recorded spans: one track per executor, `ph:"X"`
+//!   duration events and `ph:"i"` instants.
+//!
+//! Everything is gated behind one global flag. When tracing is disabled
+//! (the default) every instrumentation call reduces to a single relaxed
+//! atomic load, so the engines pay essentially nothing; see the
+//! `obs_overhead` bench in `crates/bench`.
+//!
+//! # Example
+//!
+//! ```
+//! ipso_obs::set_enabled(true);
+//! ipso_obs::reset();
+//! ipso_obs::record_span("executor-0", "map", "mapreduce", 0.0, 1.5);
+//! ipso_obs::counter_add("tasks_launched", 1);
+//! let json = ipso_obs::perfetto::export_chrome_trace(&ipso_obs::take_events());
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ipso_obs::set_enabled(false);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod metrics;
+pub mod perfetto;
+pub mod span;
+
+pub use metrics::{
+    counter_add, counter_value, gauge_add, gauge_set, gauge_value, histogram_record, reset_metrics,
+    snapshot, MetricsSnapshot,
+};
+pub use perfetto::{export_chrome_trace, write_chrome_trace};
+pub use span::{
+    clear_events, record_instant, record_span, snapshot_events, take_events, SpanKind, TraceEvent,
+    VirtualSpan, WallSpan,
+};
+
+/// The global instrumentation switch. Off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns instrumentation on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently enabled.
+///
+/// This is the only cost instrumented code pays when tracing is off: a
+/// single relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded spans and metrics (the enable flag is untouched).
+pub fn reset() {
+    span::clear_events();
+    metrics::reset_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggleable() {
+        // Other tests toggle the flag; just exercise the transitions.
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

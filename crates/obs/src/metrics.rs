@@ -1,0 +1,328 @@
+//! The global metrics registry.
+//!
+//! Three instrument kinds, all registered by name on first use:
+//!
+//! * **counters** — monotonically increasing `u64` ([`counter_add`]);
+//! * **gauges** — last-written / accumulated `f64` ([`gauge_set`],
+//!   [`gauge_add`]) stored as atomic bit patterns;
+//! * **histograms** — log₂-bucketed `u64` distributions
+//!   ([`histogram_record`]), e.g. queueing delays in microseconds.
+//!
+//! Values live in `Arc<AtomicU64>` cells, so updates after registration
+//! are lock-free; the registry map itself is behind a mutex taken only
+//! on name lookup. Every entry point is gated on [`crate::enabled`]:
+//! disabled cost is one relaxed atomic load.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
+    histograms: BTreeMap::new(),
+});
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    f(&mut REGISTRY.lock().expect("metrics registry poisoned"))
+}
+
+/// Adds `delta` to the named counter (registering it on first use).
+/// No-op unless tracing is enabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = with_registry(|r| {
+        Arc::clone(
+            r.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    });
+    cell.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// The current value of a counter (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    with_registry(|r| {
+        r.counters
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    })
+}
+
+fn gauge_cell(name: &str) -> Arc<AtomicU64> {
+    with_registry(|r| {
+        Arc::clone(
+            r.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    })
+}
+
+/// Sets the named gauge. No-op unless tracing is enabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    gauge_cell(name).store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Adds `delta` to the named gauge (an accumulating gauge, used for the
+/// overhead-component breakdown). No-op unless tracing is enabled.
+pub fn gauge_add(name: &str, delta: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let cell = gauge_cell(name);
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// The current value of a gauge (0.0 if never touched).
+pub fn gauge_value(name: &str) -> f64 {
+    with_registry(|r| {
+        r.gauges
+            .get(name)
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    })
+}
+
+/// Records `value` into the named log₂ histogram. No-op unless tracing
+/// is enabled.
+pub fn histogram_record(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let hist = with_registry(|r| {
+        Arc::clone(
+            r.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    });
+    hist.record(value);
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(lower, upper_exclusive, count)`; the zero
+    /// bucket is `(0, 1, count)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// All histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter   {name:<40} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge     {name:<40} {v:.6}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "histogram {name:<40} count={} mean={:.1}",
+                h.count,
+                h.mean()
+            )?;
+            for &(lo, hi, c) in &h.buckets {
+                writeln!(f, "            [{lo}, {hi})  {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Captures the current state of every registered instrument.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect(),
+        gauges: r
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let c = b.load(Ordering::Relaxed);
+                        if c == 0 {
+                            return None;
+                        }
+                        let (lo, hi) = if i == 0 {
+                            (0, 1)
+                        } else {
+                            (1u64 << (i - 1), if i == 64 { u64::MAX } else { 1u64 << i })
+                        };
+                        Some((lo, hi, c))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                )
+            })
+            .collect(),
+    })
+}
+
+/// Drops every registered instrument.
+pub fn reset_metrics() {
+    with_registry(|r| {
+        r.counters.clear();
+        r.gauges.clear();
+        r.histograms.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::test_lock;
+
+    #[test]
+    fn disabled_registry_stays_empty() {
+        let _guard = test_lock();
+        crate::set_enabled(false);
+        reset_metrics();
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        histogram_record("h", 1);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        reset_metrics();
+        counter_add("tasks", 3);
+        counter_add("tasks", 2);
+        gauge_set("depth", 4.0);
+        gauge_add("overhead", 0.25);
+        gauge_add("overhead", 0.5);
+        histogram_record("delay", 0);
+        histogram_record("delay", 1);
+        histogram_record("delay", 900);
+        crate::set_enabled(false);
+
+        assert_eq!(counter_value("tasks"), 5);
+        assert_eq!(counter_value("missing"), 0);
+        assert_eq!(gauge_value("depth"), 4.0);
+        assert!((gauge_value("overhead") - 0.75).abs() < 1e-12);
+
+        let snap = snapshot();
+        let h = &snap.histograms["delay"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 901);
+        // 0 → zero bucket; 1 → [1, 2); 900 → [512, 1024).
+        assert_eq!(h.buckets[0], (0, 1, 1));
+        assert_eq!(h.buckets[1], (1, 2, 1));
+        assert_eq!(h.buckets[2], (512, 1024, 1));
+        assert!(format!("{snap}").contains("histogram delay"));
+        reset_metrics();
+    }
+
+    #[test]
+    fn reset_clears_all_instruments() {
+        let _guard = test_lock();
+        crate::set_enabled(true);
+        reset_metrics();
+        counter_add("x", 1);
+        crate::set_enabled(false);
+        assert_eq!(counter_value("x"), 1);
+        reset_metrics();
+        assert_eq!(counter_value("x"), 0);
+        assert!(snapshot().counters.is_empty());
+    }
+}

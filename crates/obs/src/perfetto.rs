@@ -1,0 +1,181 @@
+//! Chrome trace-event (Perfetto) export.
+//!
+//! Serializes recorded [`TraceEvent`]s into the JSON object format
+//! understood by `chrome://tracing` and [ui.perfetto.dev]: a single
+//! process (`pid` 1) with one thread per track, named via `ph:"M"`
+//! `thread_name` metadata, `ph:"X"` complete events for spans and
+//! `ph:"i"` thread-scoped instants. Timestamps are microseconds.
+//!
+//! The output is deterministic: tracks are numbered in first-seen order
+//! and events appear in recording order, which keeps golden-file tests
+//! stable.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::span::{SpanKind, TraceEvent};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a microsecond timestamp with fixed sub-microsecond precision.
+fn fmt_us(us: f64) -> String {
+    format!("{us:.3}")
+}
+
+/// Serializes events into Chrome trace-event JSON.
+///
+/// Track ids (`tid`) are assigned in order of first appearance, starting
+/// at 1; each track gets a `thread_name` metadata record so the viewer
+/// shows the track label (`driver`, `executor-0`, …).
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut tids: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for e in events {
+        if !tids.contains_key(e.track.as_str()) {
+            tids.insert(&e.track, tids.len() as u32 + 1);
+            order.push(&e.track);
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let emit = |record: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&record);
+    };
+
+    for track in &order {
+        let tid = tids[track];
+        let mut name = String::new();
+        escape_json(track, &mut name);
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for e in events {
+        let tid = tids[e.track.as_str()];
+        let mut name = String::new();
+        escape_json(&e.name, &mut name);
+        let mut cat = String::new();
+        escape_json(&e.cat, &mut cat);
+        let record = match e.kind {
+            SpanKind::Complete { start, end } => format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+                fmt_us(start * 1e6),
+                fmt_us((end - start) * 1e6),
+            ),
+            SpanKind::Instant { at } => format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"pid\":1,\
+                 \"tid\":{tid},\"ts\":{},\"s\":\"t\"}}",
+                fmt_us(at * 1e6),
+            ),
+        };
+        emit(record, &mut out, &mut first);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Exports `events` to a file at `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, export_chrome_trace(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(track: &str, name: &str, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            track: track.into(),
+            name: name.into(),
+            cat: "test".into(),
+            kind: SpanKind::Complete { start, end },
+        }
+    }
+
+    #[test]
+    fn tracks_numbered_in_first_seen_order() {
+        let events = vec![
+            span("driver", "init", 0.0, 1.0),
+            span("executor-0", "map", 1.0, 2.0),
+            span("driver", "merge", 2.0, 3.0),
+        ];
+        let json = export_chrome_trace(&events);
+        // driver first-seen first → tid 1; executor-0 → tid 2.
+        assert!(json.contains("\"args\":{\"name\":\"driver\"}"));
+        assert!(
+            json.contains("\"name\":\"init\",\"cat\":\"test\",\"ph\":\"X\",\"pid\":1,\"tid\":1")
+        );
+        assert!(json.contains("\"name\":\"map\",\"cat\":\"test\",\"ph\":\"X\",\"pid\":1,\"tid\":2"));
+        assert!(
+            json.contains("\"name\":\"merge\",\"cat\":\"test\",\"ph\":\"X\",\"pid\":1,\"tid\":1")
+        );
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = export_chrome_trace(&[span("t", "s", 1.5, 2.0)]);
+        assert!(json.contains("\"ts\":1500000.000,\"dur\":500000.000"));
+    }
+
+    #[test]
+    fn instants_use_thread_scope() {
+        let events = vec![TraceEvent {
+            track: "executor-3".into(),
+            name: "straggler".into(),
+            cat: "cluster".into(),
+            kind: SpanKind::Instant { at: 0.25 },
+        }];
+        let json = export_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":250000.000,\"s\":\"t\""));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let json = export_chrome_trace(&[span("t\"rack", "na\\me\n", 0.0, 0.0)]);
+        assert!(json.contains("t\\\"rack"));
+        assert!(json.contains("na\\\\me\\n"));
+    }
+
+    #[test]
+    fn empty_event_list_is_valid_json() {
+        let json = export_chrome_trace(&[]);
+        assert_eq!(json, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+    }
+}

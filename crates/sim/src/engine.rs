@@ -39,7 +39,11 @@ pub struct Simulation<E> {
 impl<E> Simulation<E> {
     /// Creates a simulation with the clock at zero.
     pub fn new() -> Self {
-        Simulation { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// The current virtual time.
@@ -74,7 +78,10 @@ impl<E> Simulation<E> {
     ///
     /// Panics if `delay` is negative or non-finite.
     pub fn schedule_in(&mut self, delay: f64, event: E) {
-        assert!(delay.is_finite() && delay >= 0.0, "delay must be finite and >= 0");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and >= 0"
+        );
         self.queue.push(self.now + delay, event);
     }
 
@@ -84,6 +91,7 @@ impl<E> Simulation<E> {
         debug_assert!(t >= self.now, "event queue returned a past event");
         self.now = t;
         self.processed += 1;
+        ipso_obs::counter_add("sim.events_processed", 1);
         Some((t, e))
     }
 

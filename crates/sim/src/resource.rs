@@ -72,6 +72,10 @@ impl FifoServer {
         self.next_free = finish;
         self.busy_secs += service_secs;
         self.served += 1;
+        if ipso_obs::enabled() {
+            ipso_obs::counter_add("sim.fifo_submits", 1);
+            ipso_obs::histogram_record("sim.fifo_queue_delay_us", ((start - now) * 1e6) as u64);
+        }
         Grant { start, finish }
     }
 
@@ -125,7 +129,11 @@ impl ServerPool {
         for _ in 0..servers {
             free_at.push(std::cmp::Reverse(SimTime::ZERO));
         }
-        ServerPool { free_at, makespan: SimTime::ZERO, served: 0 }
+        ServerPool {
+            free_at,
+            makespan: SimTime::ZERO,
+            served: 0,
+        }
     }
 
     /// Number of servers in the pool.
@@ -150,6 +158,10 @@ impl ServerPool {
         self.free_at.push(std::cmp::Reverse(finish));
         self.makespan = self.makespan.max(finish);
         self.served += 1;
+        if ipso_obs::enabled() {
+            ipso_obs::counter_add("sim.pool_submits", 1);
+            ipso_obs::histogram_record("sim.pool_queue_delay_us", ((start - now) * 1e6) as u64);
+        }
         Grant { start, finish }
     }
 

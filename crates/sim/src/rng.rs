@@ -27,7 +27,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child generator, e.g. one per task, so the
@@ -44,7 +46,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or the bounds are non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds"
+        );
         if lo == hi {
             lo
         } else {
@@ -58,7 +63,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
         -mean * u.ln()
     }
@@ -69,7 +77,10 @@ impl SimRng {
     ///
     /// Panics unless `scale > 0` and `shape > 0`.
     pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
-        assert!(scale > 0.0 && shape > 0.0, "pareto parameters must be positive");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "pareto parameters must be positive"
+        );
         let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
         scale / u.powf(1.0 / shape)
     }
@@ -81,7 +92,10 @@ impl SimRng {
     ///
     /// Panics unless `0 ≤ spread < 1`.
     pub fn jitter(&mut self, spread: f64) -> f64 {
-        assert!((0.0..1.0).contains(&spread), "jitter spread must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "jitter spread must be in [0, 1)"
+        );
         self.uniform(1.0 - spread, 1.0 + spread)
     }
 
@@ -118,7 +132,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        let same = (0..32)
+            .filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0))
+            .count();
         assert!(same < 4);
     }
 

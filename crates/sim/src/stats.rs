@@ -26,7 +26,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample.
@@ -102,8 +108,7 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let mean =
-            self.mean + delta * other.count as f64 / total as f64;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
         let m2 = self.m2
             + other.m2
             + delta * delta * self.count as f64 * other.count as f64 / total as f64;
@@ -149,8 +154,7 @@ mod tests {
             s.push(v);
         }
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.sample_variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), Some(-3.0));

@@ -32,7 +32,10 @@ impl SimTime {
     /// Panics if `secs` is negative or not finite — virtual time never
     /// runs backwards and a NaN clock would poison the event order.
     pub fn from_secs(secs: f64) -> SimTime {
-        assert!(secs.is_finite() && secs >= 0.0, "simulation time must be finite and >= 0");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "simulation time must be finite and >= 0"
+        );
         SimTime(secs)
     }
 
@@ -47,7 +50,10 @@ impl SimTime {
     ///
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: SimTime) -> f64 {
-        assert!(earlier.0 <= self.0, "duration_since requires an earlier time");
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since requires an earlier time"
+        );
         self.0 - earlier.0
     }
 
@@ -78,7 +84,9 @@ impl PartialOrd for SimTime {
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
         // Safe: construction guarantees finite values.
-        self.0.partial_cmp(&other.0).expect("SimTime is always finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
     }
 }
 

@@ -32,7 +32,9 @@ use crate::job::SparkJobSpec;
 pub fn assign_levels(num_stages: usize, edges: &[(usize, usize)]) -> Result<Vec<usize>, String> {
     for &(a, b) in edges {
         if a >= num_stages || b >= num_stages {
-            return Err(format!("edge ({a}, {b}) out of range for {num_stages} stages"));
+            return Err(format!(
+                "edge ({a}, {b}) out of range for {num_stages} stages"
+            ));
         }
         if a == b {
             return Err(format!("self-edge on stage {a}"));
@@ -44,8 +46,7 @@ pub fn assign_levels(num_stages: usize, edges: &[(usize, usize)]) -> Result<Vec<
         indegree[b] += 1;
     }
     let mut level = vec![0usize; num_stages];
-    let mut queue: Vec<usize> =
-        (0..num_stages).filter(|&s| indegree[s] == 0).collect();
+    let mut queue: Vec<usize> = (0..num_stages).filter(|&s| indegree[s] == 0).collect();
     let mut visited = 0;
     while let Some(s) = queue.pop() {
         visited += 1;
@@ -114,8 +115,9 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
     overhead += launch;
 
     for level in 0..=max_level {
-        let members: Vec<usize> =
-            (0..spec.stages.len()).filter(|&s| levels[s] == level).collect();
+        let members: Vec<usize> = (0..spec.stages.len())
+            .filter(|&s| levels[s] == level)
+            .collect();
         let submitted = clock;
         for &s in &members {
             events.push(SparkEvent::StageSubmitted {
@@ -128,7 +130,9 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
 
         // Broadcasts of all member stages are serialized at the driver.
         for &s in &members {
-            let b = spec.network.broadcast_time(spec.stages[s].broadcast_bytes, m);
+            let b = spec
+                .network
+                .broadcast_time(spec.stages[s].broadcast_bytes, m);
             clock += b;
             overhead += b;
         }
@@ -138,9 +142,8 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
         let mut durations: Vec<f64> = Vec::new();
         let mut ideal: Vec<f64> = Vec::new();
         let mut cursors: Vec<u32> = vec![0; members.len()];
-        let mut first_wave_budget = m.min(
-            members.iter().map(|&s| spec.stages[s].tasks).sum::<u32>(),
-        ) as usize;
+        let mut first_wave_budget =
+            m.min(members.iter().map(|&s| spec.stages[s].tasks).sum::<u32>()) as usize;
         loop {
             let mut emitted = false;
             for (mi, &s) in members.iter().enumerate() {
@@ -159,16 +162,15 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
                     } else {
                         1.0
                     };
-                    let base = stage.task_compute
-                        + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+                    let base =
+                        stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
                     let fw = if first_wave_budget > 0 {
                         first_wave_budget -= 1;
                         spec.first_wave_cost
                     } else {
                         0.0
                     };
-                    durations
-                        .push(base * mem_mult * spec.straggler.multiplier(&mut rng) + fw);
+                    durations.push(base * mem_mult * spec.straggler.multiplier(&mut rng) + fw);
                     ideal.push(base * mem_mult);
                 }
             }
@@ -187,8 +189,10 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
 
         // Combined shuffle of the level: all member outputs contend for
         // the receivers.
-        let total_shuffle: u64 =
-            members.iter().map(|&s| spec.stages[s].total_shuffle_output()).sum();
+        let total_shuffle: u64 = members
+            .iter()
+            .map(|&s| spec.stages[s].total_shuffle_output())
+            .sum();
         if total_shuffle > 0 {
             let per_receiver = total_shuffle as f64 / m as f64;
             clock += per_receiver / spec.network.incast_goodput(m);
@@ -208,7 +212,12 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
 
     events.push(SparkEvent::ApplicationEnd { timestamp: clock });
     let log = write_event_log(&events).expect("event log serialization cannot fail");
-    Ok(SparkRun { total_time: clock, stage_times, overhead_time: overhead, log })
+    Ok(SparkRun {
+        total_time: clock,
+        stage_times,
+        overhead_time: overhead,
+        log,
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +286,11 @@ mod tests {
         j.first_wave_cost = 0.0;
         j.executor_launch_cost = 0.0;
         let run = run_dag(&j, &[]).unwrap();
-        assert!((1.0..1.2).contains(&run.total_time), "t = {}", run.total_time);
+        assert!(
+            (1.0..1.2).contains(&run.total_time),
+            "t = {}",
+            run.total_time
+        );
     }
 
     #[test]
@@ -294,6 +307,9 @@ mod tests {
     #[test]
     fn dag_runs_are_deterministic() {
         let j = job3();
-        assert_eq!(run_dag(&j, &[(0, 2)]).unwrap(), run_dag(&j, &[(0, 2)]).unwrap());
+        assert_eq!(
+            run_dag(&j, &[(0, 2)]).unwrap(),
+            run_dag(&j, &[(0, 2)]).unwrap()
+        );
     }
 }

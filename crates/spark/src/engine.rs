@@ -1,7 +1,7 @@
 //! Stage-DAG execution.
 
 use ipso_cluster::run_wave_schedule;
-use ipso_cluster::CentralScheduler;
+use ipso_cluster::{CentralScheduler, StragglerModel};
 use ipso_sim::SimRng;
 
 use crate::eventlog::{write_event_log, SparkEvent};
@@ -57,7 +57,8 @@ impl SparkRun {
 pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
     spec.validate().expect("invalid spark job spec");
     let m = spec.parallelism;
-    let mut rng = SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
+    let mut rng =
+        SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
 
     let mut clock = 0.0f64;
     let mut overhead = 0.0f64;
@@ -72,6 +73,11 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
     let launch = f64::from(m) * spec.executor_launch_cost;
     clock += launch;
     overhead += launch;
+    if ipso_obs::enabled() {
+        ipso_obs::counter_add("spark.jobs", 1);
+        ipso_obs::record_span("driver", "executor-launch", "spark", 0.0, launch);
+        ipso_obs::gauge_add("overhead.scheduling_s", launch);
+    }
 
     for (stage_id, stage) in spec.stages.iter().enumerate() {
         let submitted = clock;
@@ -86,6 +92,19 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
         let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
         clock += broadcast;
         overhead += broadcast;
+        if ipso_obs::enabled() {
+            stage.record_metrics();
+            if broadcast > 0.0 {
+                ipso_obs::record_span(
+                    "driver",
+                    &format!("broadcast-{}", stage.name),
+                    "spark",
+                    submitted,
+                    submitted + broadcast,
+                );
+            }
+            ipso_obs::gauge_add("overhead.broadcast_s", broadcast);
+        }
 
         // 3. Memory pressure: tasks per executor × cached partition size.
         let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
@@ -94,16 +113,22 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
         } else {
             stage.input_bytes_per_task
         };
-        let mem_mult =
-            if working_set > spec.executor_memory { spec.spill_slowdown } else { 1.0 };
+        let mem_mult = if working_set > spec.executor_memory {
+            spec.spill_slowdown
+        } else {
+            1.0
+        };
 
         // 2. Task durations with first-wave cost and straggler noise.
-        let base = stage.task_compute
-            + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+        let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
         let first_wave = m.min(stage.tasks) as usize;
         let durations: Vec<f64> = (0..stage.tasks as usize)
             .map(|i| {
-                let fw = if i < first_wave { spec.first_wave_cost } else { 0.0 };
+                let fw = if i < first_wave {
+                    spec.first_wave_cost
+                } else {
+                    0.0
+                };
                 base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
             })
             .collect();
@@ -111,12 +136,47 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
 
         // The overhead share of the split phase: actual makespan minus an
         // idealized schedule with free dispatch and no first-wave cost.
-        let ideal: Vec<f64> = (0..stage.tasks as usize)
-            .map(|_| base * mem_mult)
-            .collect();
+        let ideal: Vec<f64> = (0..stage.tasks as usize).map(|_| base * mem_mult).collect();
         let ideal_makespan =
             run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
-        overhead += (schedule.makespan - ideal_makespan).max(0.0);
+        let stage_overhead = (schedule.makespan - ideal_makespan).max(0.0);
+        overhead += stage_overhead;
+        if ipso_obs::enabled() {
+            // Split the stage's overhead into the straggler tail (actual
+            // makespan beyond a no-straggler schedule under the *same*
+            // scheduler) and the scheduling remainder (dispatch
+            // serialization + first-wave cost).
+            let no_straggler: Vec<f64> = (0..stage.tasks as usize)
+                .map(|i| {
+                    let fw = if i < first_wave {
+                        spec.first_wave_cost
+                    } else {
+                        0.0
+                    };
+                    base * mem_mult + fw
+                })
+                .collect();
+            let ns_makespan =
+                run_wave_schedule(&no_straggler, m as usize, &spec.scheduler).makespan;
+            let tail = (schedule.makespan - ns_makespan).clamp(0.0, stage_overhead);
+            ipso_obs::gauge_add("overhead.straggler_tail_s", tail);
+            ipso_obs::gauge_add("overhead.scheduling_s", stage_overhead - tail);
+            for record in &schedule.records {
+                let track = format!("executor-{}", record.executor);
+                ipso_obs::record_span(
+                    &track,
+                    &format!("task-{}", record.task_id),
+                    "spark",
+                    clock + record.start,
+                    clock + record.end,
+                );
+                let nominal = no_straggler[record.task_id as usize];
+                if nominal > 0.0 && record.duration() / nominal >= StragglerModel::SEVERE_MULTIPLIER
+                {
+                    ipso_obs::record_instant(&track, "straggler", "spark", clock + record.end);
+                }
+            }
+        }
         clock += schedule.makespan;
 
         // 4. Shuffle boundary: each of the m receivers pulls total/m bytes
@@ -125,11 +185,25 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
             let total = stage.total_shuffle_output();
             let per_receiver = total as f64 / m as f64;
             let shuffle = per_receiver / spec.network.incast_goodput(m);
+            if ipso_obs::enabled() {
+                ipso_obs::record_span(
+                    "driver",
+                    &format!("shuffle-{}", stage.name),
+                    "spark",
+                    clock,
+                    clock + shuffle,
+                );
+                // Incast degradation beyond undegraded worker goodput:
+                // informational, not part of the engine's Wo accounting.
+                let undegraded = per_receiver / spec.network.incast_goodput(1);
+                ipso_obs::gauge_add("spark.shuffle_incast_excess_s", shuffle - undegraded);
+            }
             clock += shuffle;
         }
 
         let stage_time = clock - submitted;
         stage_times.push(stage_time);
+        ipso_obs::record_span("driver", &stage.name, "spark", submitted, clock);
         events.push(SparkEvent::StageCompleted {
             stage_id: stage_id as u32,
             stage_name: stage.name.clone(),
@@ -141,7 +215,12 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
 
     events.push(SparkEvent::ApplicationEnd { timestamp: clock });
     let log = write_event_log(&events).expect("event log serialization cannot fail");
-    SparkRun { total_time: clock, stage_times, overhead_time: overhead, log }
+    SparkRun {
+        total_time: clock,
+        stage_times,
+        overhead_time: overhead,
+        log,
+    }
 }
 
 /// The sequential execution reference (speedup numerator): the whole
@@ -158,8 +237,7 @@ pub fn run_sequential_reference(spec: &SparkJobSpec) -> f64 {
     let mean_mult = spec.straggler.mean_multiplier();
     let mut total = 0.0;
     for stage in &spec.stages {
-        let base = stage.task_compute
-            + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+        let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
         total += stage.tasks as f64 * base * mean_mult;
         if stage.shuffle_output_per_task > 0 {
             // Local repartition at worker disk speed.
@@ -189,7 +267,11 @@ mod tests {
         job.executor_launch_cost = 0.0;
         let run = run_job(&job);
         // Two waves of 1 s tasks plus small dispatch.
-        assert!((2.0..2.3).contains(&run.total_time), "t = {}", run.total_time);
+        assert!(
+            (2.0..2.3).contains(&run.total_time),
+            "t = {}",
+            run.total_time
+        );
     }
 
     #[test]
@@ -203,7 +285,9 @@ mod tests {
     #[test]
     fn broadcast_counts_as_overhead() {
         let mut job = SparkJobSpec::emr("bcast", 4, 4).stage(
-            StageSpec::new("iter", 4).with_task_compute(0.5).with_broadcast(50 * 1024 * 1024),
+            StageSpec::new("iter", 4)
+                .with_task_compute(0.5)
+                .with_broadcast(50 * 1024 * 1024),
         );
         job.straggler = StragglerModel::None;
         let run = run_job(&job);
@@ -216,7 +300,9 @@ mod tests {
     fn broadcast_overhead_grows_linearly_with_m() {
         let mk = |m: u32| {
             let mut j = SparkJobSpec::emr("bcast", m, m).stage(
-                StageSpec::new("iter", m).with_task_compute(0.5).with_broadcast(20 * 1024 * 1024),
+                StageSpec::new("iter", m)
+                    .with_task_compute(0.5)
+                    .with_broadcast(20 * 1024 * 1024),
             );
             j.straggler = StragglerModel::None;
             j.first_wave_cost = 0.0;
@@ -224,7 +310,10 @@ mod tests {
         };
         let o10 = run_job(&mk(10)).overhead_time;
         let o40 = run_job(&mk(40)).overhead_time;
-        assert!(o40 > 3.5 * o10 && o40 < 4.5 * o10, "o10 = {o10}, o40 = {o40}");
+        assert!(
+            o40 > 3.5 * o10 && o40 < 4.5 * o10,
+            "o10 = {o10}, o40 = {o40}"
+        );
     }
 
     #[test]
@@ -253,8 +342,7 @@ mod tests {
 
     #[test]
     fn event_log_reflects_stages() {
-        let mut job = simple_job(4, 2)
-            .stage(StageSpec::new("agg", 2).with_task_compute(0.2));
+        let mut job = simple_job(4, 2).stage(StageSpec::new("agg", 2).with_task_compute(0.2));
         job.executor_launch_cost = 0.0;
         let run = run_job(&job);
         let (stages, duration) = parse_event_log(&run.log).unwrap();
@@ -276,7 +364,10 @@ mod tests {
         };
         let o8 = run_job(&mk(8)).overhead_time;
         let o64 = run_job(&mk(64)).overhead_time;
-        assert!(o64 > 6.0 * o8, "launch overhead should grow ~linearly: {o8} -> {o64}");
+        assert!(
+            o64 > 6.0 * o8,
+            "launch overhead should grow ~linearly: {o8} -> {o64}"
+        );
     }
 
     #[test]
@@ -288,11 +379,13 @@ mod tests {
     #[test]
     fn shuffle_adds_boundary_time() {
         let mut with = SparkJobSpec::emr("s", 8, 4).stage(
-            StageSpec::new("map", 8).with_task_compute(0.5).with_shuffle_output(20 * 1024 * 1024),
+            StageSpec::new("map", 8)
+                .with_task_compute(0.5)
+                .with_shuffle_output(20 * 1024 * 1024),
         );
         with.straggler = StragglerModel::None;
-        let mut without = SparkJobSpec::emr("s", 8, 4)
-            .stage(StageSpec::new("map", 8).with_task_compute(0.5));
+        let mut without =
+            SparkJobSpec::emr("s", 8, 4).stage(StageSpec::new("map", 8).with_task_compute(0.5));
         without.straggler = StragglerModel::None;
         assert!(run_job(&with).total_time > run_job(&without).total_time + 0.5);
     }

@@ -102,9 +102,7 @@ pub struct StageLatency {
 /// # Errors
 ///
 /// Returns JSON errors for malformed lines.
-pub fn parse_event_log(
-    log: &str,
-) -> Result<(Vec<StageLatency>, Option<f64>), serde_json::Error> {
+pub fn parse_event_log(log: &str) -> Result<(Vec<StageLatency>, Option<f64>), serde_json::Error> {
     let mut stages = Vec::new();
     let mut start = None;
     let mut end = None;
@@ -141,7 +139,10 @@ mod tests {
 
     fn sample_events() -> Vec<SparkEvent> {
         vec![
-            SparkEvent::ApplicationStart { app_name: "bayes".into(), timestamp: 0.0 },
+            SparkEvent::ApplicationStart {
+                app_name: "bayes".into(),
+                timestamp: 0.0,
+            },
             SparkEvent::StageSubmitted {
                 stage_id: 0,
                 stage_name: "train".into(),

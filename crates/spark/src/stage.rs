@@ -90,6 +90,19 @@ impl StageSpec {
         self.shuffle_output_per_task * u64::from(self.tasks)
     }
 
+    /// Records the stage's static shape into the global metrics
+    /// registry. No-op unless tracing is enabled.
+    pub fn record_metrics(&self) {
+        if !ipso_obs::enabled() {
+            return;
+        }
+        ipso_obs::counter_add("spark.stages", 1);
+        ipso_obs::counter_add("spark.tasks_launched", u64::from(self.tasks));
+        ipso_obs::counter_add("spark.broadcast_bytes", self.broadcast_bytes);
+        ipso_obs::counter_add("spark.shuffle_bytes", self.total_shuffle_output());
+        ipso_obs::histogram_record("spark.stage_tasks", u64::from(self.tasks));
+    }
+
     /// Validates the specification.
     ///
     /// # Errors
@@ -100,7 +113,10 @@ impl StageSpec {
             return Err(format!("stage '{}' must have at least one task", self.name));
         }
         if !self.task_compute.is_finite() || self.task_compute < 0.0 {
-            return Err(format!("stage '{}' compute must be finite and >= 0", self.name));
+            return Err(format!(
+                "stage '{}' compute must be finite and >= 0",
+                self.name
+            ));
         }
         Ok(())
     }

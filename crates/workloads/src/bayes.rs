@@ -48,26 +48,30 @@ pub fn train_naive_bayes(points: &[LabeledPoint]) -> NaiveBayesModel {
     ];
     let mut log_likelihood = Vec::with_capacity(dims);
     let mut log_complement = Vec::with_capacity(dims);
-    for f in 0..dims {
+    for counts in feature_counts.iter().take(dims) {
         let mut ll = [0.0f64; 2];
         let mut lc = [0.0f64; 2];
         for c in 0..2 {
-            let p = (feature_counts[f][c] as f64 + 1.0) / (class_counts[c] as f64 + 2.0);
+            let p = (counts[c] as f64 + 1.0) / (class_counts[c] as f64 + 2.0);
             ll[c] = p.ln();
             lc[c] = (1.0 - p).ln();
         }
         log_likelihood.push(ll);
         log_complement.push(lc);
     }
-    NaiveBayesModel { log_prior, log_likelihood, log_complement }
+    NaiveBayesModel {
+        log_prior,
+        log_likelihood,
+        log_complement,
+    }
 }
 
 /// Classifies one point.
 pub fn classify(model: &NaiveBayesModel, point: &LabeledPoint) -> u32 {
     let mut scores = model.log_prior;
     for (f, &v) in point.features.iter().enumerate() {
-        for c in 0..2 {
-            scores[c] += if v > 0.0 {
+        for (c, score) in scores.iter_mut().enumerate() {
+            *score += if v > 0.0 {
                 model.log_likelihood[f][c]
             } else {
                 model.log_complement[f][c]
@@ -79,8 +83,10 @@ pub fn classify(model: &NaiveBayesModel, point: &LabeledPoint) -> u32 {
 
 /// Training-set accuracy of a model.
 pub fn accuracy(model: &NaiveBayesModel, points: &[LabeledPoint]) -> f64 {
-    let correct =
-        points.iter().filter(|p| classify(model, p) == p.label).count();
+    let correct = points
+        .iter()
+        .filter(|p| classify(model, p) == p.label)
+        .count();
     correct as f64 / points.len() as f64
 }
 
@@ -102,10 +108,7 @@ pub fn job(problem_size: u32, parallelism: u32) -> SparkJobSpec {
                 .with_broadcast(2 * 1024 * 1024)
                 .with_shuffle_output(512 * 1024),
         )
-        .stage(
-            StageSpec::new("aggregate-model", parallelism.max(1))
-                .with_task_compute(0.25),
-        )
+        .stage(StageSpec::new("aggregate-model", parallelism.max(1)).with_task_compute(0.25))
 }
 
 #[cfg(test)]
@@ -136,9 +139,14 @@ mod tests {
         let mut rng = SimRng::seed_from(52);
         let points = random_points(1000, 6, &mut rng);
         let model = train_naive_bayes(&points);
-        let strongly_negative =
-            LabeledPoint { label: 0, features: vec![-1.5; 6] };
-        let strongly_positive = LabeledPoint { label: 1, features: vec![1.5; 6] };
+        let strongly_negative = LabeledPoint {
+            label: 0,
+            features: vec![-1.5; 6],
+        };
+        let strongly_positive = LabeledPoint {
+            label: 1,
+            features: vec![1.5; 6],
+        };
         assert_eq!(classify(&model, &strongly_negative), 0);
         assert_eq!(classify(&model, &strongly_positive), 1);
     }

@@ -28,14 +28,22 @@ use ipso_spark::{SparkJobSpec, StageSpec};
 use crate::datagen::Rating;
 
 /// The paper's Table I: `(n, E[max Tp,i(n)], Wo(n))` in seconds.
-pub const TABLE_I: [(u32, f64, f64); 4] =
-    [(10, 209.0, 5.5), (30, 79.3, 17.7), (60, 43.7, 36.0), (90, 31.1, 54.3)];
+pub const TABLE_I: [(u32, f64, f64); 4] = [
+    (10, 209.0, 5.5),
+    (30, 79.3, 17.7),
+    (60, 43.7, 36.0),
+    (90, 31.1, 54.3),
+];
 
 /// Table I as [`FixedSizeSample`]s for the prediction pipeline.
 pub fn table1_samples() -> Vec<FixedSizeSample> {
     TABLE_I
         .iter()
-        .map(|&(n, max_task_time, overhead)| FixedSizeSample { n, max_task_time, overhead })
+        .map(|&(n, max_task_time, overhead)| FixedSizeSample {
+            n,
+            max_task_time,
+            overhead,
+        })
         .collect()
 }
 
@@ -55,7 +63,10 @@ pub fn als_factorize(
     let mut x = vec![1.0f64; users as usize];
     let mut y = vec![1.0f64; items as usize];
     for r in ratings {
-        assert!(r.user < users && r.item < items, "rating index out of bounds");
+        assert!(
+            r.user < users && r.item < items,
+            "rating index out of bounds"
+        );
     }
     // Small ridge term keeps unobserved rows finite.
     let lambda = 1e-6;
@@ -160,7 +171,11 @@ mod tests {
         let v_true = [0.5, 1.5];
         for (ui, &uv) in u_true.iter().enumerate() {
             for (vi, &vv) in v_true.iter().enumerate() {
-                ratings.push(Rating { user: ui as u32, item: vi as u32, value: uv * vv });
+                ratings.push(Rating {
+                    user: ui as u32,
+                    item: vi as u32,
+                    value: uv * vv,
+                });
             }
         }
         let (x, y) = als_factorize(&ratings, 3, 2, 20);
@@ -205,7 +220,10 @@ mod tests {
     #[test]
     fn simulated_sweep_peaks_near_60() {
         let pts = sweep_fixed_size(job, CF_TASKS, &[10, 20, 30, 45, 60, 90, 120, 180]);
-        let peak = pts.iter().max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .unwrap();
         assert!(
             (30..=90).contains(&peak.m),
             "simulated CF peak at m = {} (S = {})",

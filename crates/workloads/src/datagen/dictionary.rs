@@ -11,8 +11,8 @@ use ipso_sim::SimRng;
 pub const DICTIONARY_SIZE: usize = 1000;
 
 const SYLLABLES: &[&str] = &[
-    "an", "ber", "cal", "dor", "el", "fin", "gra", "hol", "in", "jun", "kel", "lor", "mer",
-    "nor", "ol", "per", "qua", "rin", "sol", "tur", "ul", "ver", "win", "xen", "yor", "zan",
+    "an", "ber", "cal", "dor", "el", "fin", "gra", "hol", "in", "jun", "kel", "lor", "mer", "nor",
+    "ol", "per", "qua", "rin", "sol", "tur", "ul", "ver", "win", "xen", "yor", "zan",
 ];
 
 /// The deterministic 1000-word dictionary. Words are distinct, lowercase

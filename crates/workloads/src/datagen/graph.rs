@@ -25,7 +25,11 @@ pub fn random_graph(vertices: u32, out_degree: u32, rng: &mut SimRng) -> Vec<Edg
             if dst == src {
                 dst = (dst + 1) % vertices;
             }
-            edges.push(Edge { src, dst, weight: rng.uniform(0.05, 1.0) });
+            edges.push(Edge {
+                src,
+                dst,
+                weight: rng.uniform(0.05, 1.0),
+            });
         }
     }
     edges

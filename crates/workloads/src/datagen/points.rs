@@ -27,8 +27,7 @@ pub fn random_points(count: usize, dims: usize, rng: &mut SimRng) -> Vec<Labeled
         .map(|i| {
             let label = (i % 2) as u32;
             let centre = if label == 0 { -1.0 } else { 1.0 };
-            let features =
-                (0..dims).map(|_| centre + rng.uniform(-1.0, 1.0)).collect();
+            let features = (0..dims).map(|_| centre + rng.uniform(-1.0, 1.0)).collect();
             LabeledPoint { label, features }
         })
         .collect()
@@ -61,7 +60,10 @@ mod tests {
 
     #[test]
     fn byte_size_counts_features() {
-        let p = LabeledPoint { label: 1, features: vec![0.0; 10] };
+        let p = LabeledPoint {
+            label: 1,
+            features: vec![0.0; 10],
+        };
         assert_eq!(p.byte_size(), 84);
     }
 

@@ -54,8 +54,11 @@ mod tests {
         let ratings = random_ratings(20, 20, 4000, &mut rng);
         let mut user_means = Vec::new();
         for u in 0..20u32 {
-            let rs: Vec<f64> =
-                ratings.iter().filter(|r| r.user == u).map(|r| r.value).collect();
+            let rs: Vec<f64> = ratings
+                .iter()
+                .filter(|r| r.user == u)
+                .map(|r| r.value)
+                .collect();
             if !rs.is_empty() {
                 user_means.push(rs.iter().sum::<f64>() / rs.len() as f64);
             }

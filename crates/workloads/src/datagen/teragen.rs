@@ -27,7 +27,10 @@ pub fn teragen_records(count: usize, rng: &mut SimRng) -> Vec<TeraRecord> {
             for b in &mut key {
                 *b = rng.index(256) as u8;
             }
-            TeraRecord { key, row: row as u64 }
+            TeraRecord {
+                key,
+                row: row as u64,
+            }
         })
         .collect()
 }
@@ -51,13 +54,23 @@ mod tests {
         let rs = teragen_records(1000, &mut rng);
         let first_bytes: std::collections::HashSet<u8> = rs.iter().map(|r| r.key[0]).collect();
         // 1000 uniform draws should hit many of the 256 buckets.
-        assert!(first_bytes.len() > 200, "only {} buckets", first_bytes.len());
+        assert!(
+            first_bytes.len() > 200,
+            "only {} buckets",
+            first_bytes.len()
+        );
     }
 
     #[test]
     fn records_sort_by_key_then_row() {
-        let a = TeraRecord { key: [0; 10], row: 5 };
-        let b = TeraRecord { key: [1; 10], row: 0 };
+        let a = TeraRecord {
+            key: [0; 10],
+            row: 5,
+        };
+        let b = TeraRecord {
+            key: [1; 10],
+            row: 0,
+        };
         assert!(a < b);
     }
 

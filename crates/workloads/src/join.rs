@@ -28,13 +28,18 @@ pub fn hash_join(facts: &[FactRow], dims: &[DimRow]) -> Vec<JoinedRow> {
         .iter()
         .filter_map(|&(k, v)| lookup.get(&k).map(|&a| (k, v, a)))
         .collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite measures")));
+    out.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("finite measures"))
+    });
     out
 }
 
 /// Generates a fact table of `rows` entries over `keys` distinct keys.
 pub fn generate_facts(rows: usize, keys: u64, rng: &mut ipso_sim::SimRng) -> Vec<FactRow> {
-    (0..rows).map(|_| (rng.index(keys as usize) as u64, rng.uniform(0.0, 100.0))).collect()
+    (0..rows)
+        .map(|_| (rng.index(keys as usize) as u64, rng.uniform(0.0, 100.0)))
+        .collect()
 }
 
 /// Generates a dimension table covering a key range with one attribute
@@ -92,9 +97,7 @@ mod tests {
                     .map(move |&(_, a)| (k, v, a))
             })
             .collect();
-        expected.sort_by(|a, b| {
-            a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite"))
-        });
+        expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite")));
         assert_eq!(joined, expected);
     }
 

@@ -106,8 +106,12 @@ mod tests {
     #[test]
     fn two_hop_multiplies_along_paths() {
         // 0 →(0.5) 1 →(0.4) 2, and 0 →(0.2) 3 →(0.1) 2.
-        let edges =
-            [edge(0, 1, 0.5), edge(1, 2, 0.4), edge(0, 3, 0.2), edge(3, 2, 0.1)];
+        let edges = [
+            edge(0, 1, 0.5),
+            edge(1, 2, 0.4),
+            edge(0, 3, 0.2),
+            edge(3, 2, 0.1),
+        ];
         let two = nweight(&edges, 2);
         // Paths sum: 0.5·0.4 + 0.2·0.1 = 0.22.
         assert!((two[&0][&2] - 0.22).abs() < 1e-12);

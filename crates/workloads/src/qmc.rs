@@ -109,8 +109,10 @@ pub fn job_spec(n: u32) -> JobSpec {
 pub fn make_splits(n: u32) -> Vec<InputSplit<QmcSlice>> {
     (0..n)
         .map(|task| {
-            let slice =
-                QmcSlice { offset: u64::from(task) * SAMPLE_POINTS, count: SAMPLE_POINTS };
+            let slice = QmcSlice {
+                offset: u64::from(task) * SAMPLE_POINTS,
+                count: SAMPLE_POINTS,
+            };
             InputSplit::new(
                 vec![slice],
                 SAMPLE_POINTS * BYTES_PER_SAMPLE,

@@ -51,8 +51,16 @@ fn gini(counts: [u64; 2]) -> f64 {
 ///
 /// Panics if `points` or `features` is empty.
 pub fn fit_stump(points: &[LabeledPoint], features: &[usize]) -> Stump {
-    assert!(!points.is_empty() && !features.is_empty(), "need data and features");
-    let mut best = Stump { feature: features[0], threshold: 0.0, left_label: 0, right_label: 1 };
+    assert!(
+        !points.is_empty() && !features.is_empty(),
+        "need data and features"
+    );
+    let mut best = Stump {
+        feature: features[0],
+        threshold: 0.0,
+        left_label: 0,
+        right_label: 1,
+    };
     let mut best_score = f64::INFINITY;
     for &f in features {
         // Candidate thresholds: feature quartiles over a coarse grid.
@@ -90,13 +98,17 @@ pub fn fit_stump(points: &[LabeledPoint], features: &[usize]) -> Stump {
 ///
 /// Panics if `points` is empty or `trees` is zero.
 pub fn train_forest(points: &[LabeledPoint], trees: u32, rng: &mut SimRng) -> Vec<Stump> {
-    assert!(!points.is_empty() && trees > 0, "need data and at least one tree");
+    assert!(
+        !points.is_empty() && trees > 0,
+        "need data and at least one tree"
+    );
     let dims = points[0].features.len();
     let subset = ((dims as f64).sqrt().ceil() as usize).max(1);
     (0..trees)
         .map(|_| {
-            let sample: Vec<LabeledPoint> =
-                (0..points.len()).map(|_| points[rng.index(points.len())].clone()).collect();
+            let sample: Vec<LabeledPoint> = (0..points.len())
+                .map(|_| points[rng.index(points.len())].clone())
+                .collect();
             let mut features: Vec<usize> = Vec::with_capacity(subset);
             while features.len() < subset {
                 let f = rng.index(dims);
@@ -117,8 +129,10 @@ pub fn predict_forest(forest: &[Stump], features: &[f64]) -> u32 {
 
 /// Forest accuracy on a labeled set.
 pub fn accuracy(forest: &[Stump], points: &[LabeledPoint]) -> f64 {
-    let correct =
-        points.iter().filter(|p| predict_forest(forest, &p.features) == p.label).count();
+    let correct = points
+        .iter()
+        .filter(|p| predict_forest(forest, &p.features) == p.label)
+        .count();
     correct as f64 / points.len() as f64
 }
 
@@ -138,9 +152,7 @@ pub fn job(problem_size: u32, parallelism: u32) -> SparkJobSpec {
                 .with_broadcast(1024 * 1024)
                 .with_shuffle_output(128 * 1024),
         )
-        .stage(
-            StageSpec::new("assemble-forest", parallelism.max(1)).with_task_compute(0.15),
-        )
+        .stage(StageSpec::new("assemble-forest", parallelism.max(1)).with_task_compute(0.15))
 }
 
 #[cfg(test)]
@@ -163,7 +175,10 @@ mod tests {
         let points = random_points(1500, 9, &mut rng);
         let stump_acc = accuracy(&train_forest(&points, 1, &mut rng), &points);
         let forest_acc = accuracy(&train_forest(&points, 31, &mut rng), &points);
-        assert!(forest_acc + 0.02 >= stump_acc, "forest {forest_acc} vs stump {stump_acc}");
+        assert!(
+            forest_acc + 0.02 >= stump_acc,
+            "forest {forest_acc} vs stump {stump_acc}"
+        );
     }
 
     #[test]
@@ -173,7 +188,11 @@ mod tests {
         let stump = fit_stump(&points, &[0, 1, 2, 3]);
         // Blobs centred at ±1: any separating threshold lies near 0 and
         // assigns the positive side label 1.
-        assert!((-0.6..=0.6).contains(&stump.threshold), "threshold {}", stump.threshold);
+        assert!(
+            (-0.6..=0.6).contains(&stump.threshold),
+            "threshold {}",
+            stump.threshold
+        );
         assert_eq!(stump.right_label, 1);
         assert_eq!(stump.left_label, 0);
     }

@@ -9,8 +9,8 @@
 //! [`crate::terasort`] no spill regime appears in the measured range; we
 //! model that with an unlimited reducer memory.
 
-use ipso_mapreduce::{InputSplit, JobCostModel, JobSpec, Mapper, Reducer, ScalingSweep};
 use ipso_cluster::MemoryModel;
+use ipso_mapreduce::{InputSplit, JobCostModel, JobSpec, Mapper, Reducer, ScalingSweep};
 use ipso_sim::SimRng;
 
 use crate::datagen::random_lines;
@@ -109,8 +109,7 @@ mod tests {
         use ipso_mapreduce::run_scale_out;
         let splits = make_splits(3, 9);
         let run = run_scale_out(&job_spec(3), &SortMapper, &SortReducer, &splits);
-        let mut expected: Vec<String> =
-            splits.into_iter().flat_map(|s| s.records).collect();
+        let mut expected: Vec<String> = splits.into_iter().flat_map(|s| s.records).collect();
         assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "not sorted");
         expected.sort();
         assert_eq!(run.output, expected, "not a permutation");

@@ -21,7 +21,12 @@ pub struct LinearModel {
 impl LinearModel {
     /// Decision value for a point.
     pub fn decision(&self, features: &[f64]) -> f64 {
-        self.weights.iter().zip(features).map(|(w, x)| w * x).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Predicted label (0 or 1).
@@ -49,7 +54,12 @@ pub fn train_svm(points: &[LabeledPoint], epochs: u32, lr: f64, reg: f64) -> Lin
         let mut grad_b = 0.0f64;
         for p in points {
             let y = if p.label == 1 { 1.0 } else { -1.0 };
-            let margin = y * (w.iter().zip(&p.features).map(|(wi, xi)| wi * xi).sum::<f64>() + b);
+            let margin = y
+                * (w.iter()
+                    .zip(&p.features)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + b);
             if margin < 1.0 {
                 for (g, x) in grad_w.iter_mut().zip(&p.features) {
                     *g -= y * x;
@@ -63,12 +73,18 @@ pub fn train_svm(points: &[LabeledPoint], epochs: u32, lr: f64, reg: f64) -> Lin
         }
         b -= step * grad_b * scale;
     }
-    LinearModel { weights: w, bias: b }
+    LinearModel {
+        weights: w,
+        bias: b,
+    }
 }
 
 /// Training-set accuracy.
 pub fn accuracy(model: &LinearModel, points: &[LabeledPoint]) -> f64 {
-    let correct = points.iter().filter(|p| model.predict(&p.features) == p.label).count();
+    let correct = points
+        .iter()
+        .filter(|p| model.predict(&p.features) == p.label)
+        .count();
     correct as f64 / points.len() as f64
 }
 
@@ -121,7 +137,11 @@ mod tests {
         let points = random_points(1000, 5, &mut rng);
         let model = train_svm(&points, 30, 0.5, 1e-3);
         // Positive blob is centred at +1 in every coordinate.
-        assert!(model.weights.iter().all(|&w| w > 0.0), "{:?}", model.weights);
+        assert!(
+            model.weights.iter().all(|&w| w > 0.0),
+            "{:?}",
+            model.weights
+        );
     }
 
     #[test]
@@ -147,7 +167,10 @@ mod tests {
     fn fixed_size_sweep_eventually_degrades() {
         use ipso_spark::sweep_fixed_size;
         let pts = sweep_fixed_size(job, 64, &[2, 8, 32, 64, 128, 256]);
-        let peak = pts.iter().max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .unwrap();
         let last = pts.last().unwrap();
         assert!(peak.m < 256, "peak at the edge");
         assert!(last.speedup < peak.speedup);

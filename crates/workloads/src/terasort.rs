@@ -113,10 +113,17 @@ mod tests {
     #[test]
     fn output_is_sorted_by_key() {
         use ipso_mapreduce::run_scale_out;
-        let run =
-            run_scale_out(&job_spec(2), &TeraSortMapper, &TeraSortReducer, &make_splits(2, 5));
+        let run = run_scale_out(
+            &job_spec(2),
+            &TeraSortMapper,
+            &TeraSortReducer,
+            &make_splits(2, 5),
+        );
         assert_eq!(run.output.len(), 2 * SAMPLE_RECORDS);
-        assert!(run.output.windows(2).all(|w| w[0].0 <= w[1].0), "keys out of order");
+        assert!(
+            run.output.windows(2).all(|w| w[0].0 <= w[1].0),
+            "keys out of order"
+        );
     }
 
     #[test]
@@ -126,8 +133,10 @@ mod tests {
         let run = run_sequential(&job_spec(3), &TeraSortMapper, &TeraSortReducer, &splits);
         let mut rows: Vec<u64> = run.output.iter().map(|(_, r)| *r).collect();
         rows.sort_unstable();
-        let mut expected: Vec<u64> =
-            splits.iter().flat_map(|s| s.records.iter().map(|r| r.row)).collect();
+        let mut expected: Vec<u64> = splits
+            .iter()
+            .flat_map(|s| s.records.iter().map(|r| r.row))
+            .collect();
         expected.sort_unstable();
         assert_eq!(rows, expected);
     }
@@ -152,14 +161,16 @@ mod tests {
         let s96 = curve.points().last().unwrap().speedup;
         // Paper: TeraSort caps near 2.5–3.
         assert!((1.8..4.0).contains(&s96), "S(96) = {s96}");
-        let sort_s96 =
-            crate::sort::sweep(&[1, 2, 4, 8, 16, 32, 64, 96])
-                .speedup_curve()
-                .unwrap()
-                .points()
-                .last()
-                .unwrap()
-                .speedup;
-        assert!(s96 < sort_s96, "TeraSort ({s96}) should trail Sort ({sort_s96})");
+        let sort_s96 = crate::sort::sweep(&[1, 2, 4, 8, 16, 32, 64, 96])
+            .speedup_curve()
+            .unwrap()
+            .points()
+            .last()
+            .unwrap()
+            .speedup;
+        assert!(
+            s96 < sort_s96,
+            "TeraSort ({s96}) should trail Sort ({sort_s96})"
+        );
     }
 }

@@ -126,8 +126,18 @@ mod tests {
     #[test]
     fn intermediate_data_saturates() {
         use ipso_mapreduce::run_scale_out;
-        let r4 = run_scale_out(&job_spec(4), &WordCountMapper, &WordCountReducer, &make_splits(4, 1));
-        let r8 = run_scale_out(&job_spec(8), &WordCountMapper, &WordCountReducer, &make_splits(8, 1));
+        let r4 = run_scale_out(
+            &job_spec(4),
+            &WordCountMapper,
+            &WordCountReducer,
+            &make_splits(4, 1),
+        );
+        let r8 = run_scale_out(
+            &job_spec(8),
+            &WordCountMapper,
+            &WordCountReducer,
+            &make_splits(8, 1),
+        );
         // Reduce input grows at most linearly in tasks with a tiny
         // per-task bound (1000 dictionary entries).
         assert!(r8.reduce_input_bytes < 2 * r4.reduce_input_bytes + 1024);
@@ -140,8 +150,7 @@ mod tests {
         let curve = sweep.speedup_curve().unwrap();
         let s32 = curve.points().last().unwrap().speedup;
         let eta = sweep.measurements()[0].seq_parallel_work
-            / (sweep.measurements()[0].seq_parallel_work
-                + sweep.measurements()[0].seq_serial_work);
+            / (sweep.measurements()[0].seq_parallel_work + sweep.measurements()[0].seq_serial_work);
         let gustafson = eta * 32.0 + (1.0 - eta);
         // Close to Gustafson's prediction — the benign case. The gap
         // (straggler E[max] and job-setup excess) matches the slight

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t1 = measurements[0].sequential_time();
     let provisioner = Provisioner::new(predictor.model().clone(), t1, CostModel::default())?;
 
-    println!("{:>5} {:>9} {:>11} {:>10} {:>12}", "n", "speedup", "job time s", "cost $", "S per $");
+    println!(
+        "{:>5} {:>9} {:>11} {:>10} {:>12}",
+        "n", "speedup", "job time s", "cost $", "S per $"
+    );
     for n in [1u32, 5, 10, 20, 40, 80, 120, 160, 200] {
         let p = provisioner.evaluate(n)?;
         println!(
@@ -40,9 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let efficient = provisioner.most_efficient(200)?;
     let knee = provisioner.knee(0.9, 200)?;
     println!("\nrecommendations:");
-    println!("  minimize wall-clock : n = {} (S = {:.2})", fastest.n, fastest.speedup);
-    println!("  maximize S per $    : n = {} (S = {:.2}, ${:.4})", efficient.n, efficient.speedup, efficient.job_cost);
-    println!("  90%-of-peak knee    : n = {} (S = {:.2})", knee.n, knee.speedup);
+    println!(
+        "  minimize wall-clock : n = {} (S = {:.2})",
+        fastest.n, fastest.speedup
+    );
+    println!(
+        "  maximize S per $    : n = {} (S = {:.2}, ${:.4})",
+        efficient.n, efficient.speedup, efficient.job_cost
+    );
+    println!(
+        "  90%-of-peak knee    : n = {} (S = {:.2})",
+        knee.n, knee.speedup
+    );
 
     let deadline = t1 / 2.5;
     match provisioner.cheapest_meeting_deadline(deadline, 200)? {
@@ -50,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  meet {deadline:.0}s deadline : n = {} (time {:.1}s, ${:.4})",
             p.n, p.job_time, p.job_cost
         ),
-        None => println!("  meet {deadline:.0}s deadline : impossible below n = 200 — the speedup is bounded"),
+        None => println!(
+            "  meet {deadline:.0}s deadline : impossible below n = 200 — the speedup is bounded"
+        ),
     }
     println!(
         "\nBecause this workload is type IIIt,1 (in-proportion scaling), its speedup is\n\

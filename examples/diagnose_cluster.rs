@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diagnostician = Diagnostician::new();
 
     for (name, sweep) in [
-        ("sort", sort::sweep(&[1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128])),
-        ("terasort", terasort::sweep(&[1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128])),
+        (
+            "sort",
+            sort::sweep(&[1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128]),
+        ),
+        (
+            "terasort",
+            terasort::sweep(&[1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128]),
+        ),
     ] {
         println!("════════ {name} ════════");
 
@@ -54,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
             128.0,
         )?;
-        println!("\nwhat-if analysis at n = 128 (S = {:.2} today):", ranked[0].baseline);
+        println!(
+            "\nwhat-if analysis at n = 128 (S = {:.2} today):",
+            ranked[0].baseline
+        );
         for o in &ranked {
             println!(
                 "  {:<32} -> S = {:7.2}  ({:+.0}%)",

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let job = MultiRoundJob::new(rounds)?;
 
     println!("aggregate eta = {:.3}", job.eta());
-    println!("\n{:>5} {:>10} {:>12} {:>12}", "n", "speedup", "seq time s", "par time s");
+    println!(
+        "\n{:>5} {:>10} {:>12} {:>12}",
+        "n", "speedup", "seq time s", "par time s"
+    );
     for n in [1u32, 10, 30, 60, 90, 120, 180] {
         let nf = f64::from(n);
         println!(
@@ -56,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          beta {:+.2}, gamma {:+.2}",
         sens.eta, sens.alpha, sens.delta, sens.beta, sens.gamma
     );
-    println!("dominant parameter: {} — spend measurement effort there first", sens.dominant());
+    println!(
+        "dominant parameter: {} — spend measurement effort there first",
+        sens.dominant()
+    );
     Ok(())
 }

@@ -47,14 +47,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let (n_peak, s_peak) = cf_like.peak_speedup(300)?;
     println!("\nsuperlinear induced overhead peaks the speedup:");
-    println!("  best S = {s_peak:.1} at n = {n_peak}; S(300) = {:.1}", cf_like.speedup(300.0)?);
+    println!(
+        "  best S = {s_peak:.1} at n = {n_peak}; S(300) = {:.1}",
+        cf_like.speedup(300.0)?
+    );
 
     // ── 4. Classify behaviours in the taxonomy of Figs. 2–3 ─────────────
     println!("\ntaxonomy:");
     let cases = [
-        ("Gustafson-like", AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0)?, WorkloadType::FixedTime),
-        ("Sort-like", AsymptoticParams::new(0.9, 2.8, 0.0, 0.0, 0.0)?, WorkloadType::FixedTime),
-        ("CF-like", AsymptoticParams::new(1.0, 1.0, 0.0, 0.0004, 2.0)?, WorkloadType::FixedSize),
+        (
+            "Gustafson-like",
+            AsymptoticParams::new(0.9, 1.0, 1.0, 0.0, 0.0)?,
+            WorkloadType::FixedTime,
+        ),
+        (
+            "Sort-like",
+            AsymptoticParams::new(0.9, 2.8, 0.0, 0.0, 0.0)?,
+            WorkloadType::FixedTime,
+        ),
+        (
+            "CF-like",
+            AsymptoticParams::new(1.0, 1.0, 0.0, 0.0004, 2.0)?,
+            WorkloadType::FixedSize,
+        ),
     ];
     for (name, params, workload) in cases {
         let (class, bound) = classify(&params, workload)?;

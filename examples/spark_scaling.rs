@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (stages, duration) = parse_event_log(&run.log)?;
     println!("bayes N = 64, m = 16 — stage latencies from the JSON event log:");
     for s in &stages {
-        println!("  stage {:2} {:<18} {:4} tasks  {:7.2}s", s.stage_id, s.stage_name, s.num_tasks, s.latency);
+        println!(
+            "  stage {:2} {:<18} {:4} tasks  {:7.2}s",
+            s.stage_id, s.stage_name, s.num_tasks, s.latency
+        );
     }
     println!(
         "  total {:.2}s (overhead {:.2}s = {:.0}%)\n",
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Fixed-time dimension (N/m constant) ─────────────────────────────
     let ms = [1u32, 2, 4, 8, 16, 32, 64];
     println!("fixed-time dimension (paper Fig. 9): speedup at load levels N/m:");
-    println!("{:>5} {:>8} {:>8} {:>8} {:>8}", "m", "N/m=1", "N/m=2", "N/m=4", "N/m=8");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8}",
+        "m", "N/m=1", "N/m=2", "N/m=4", "N/m=8"
+    );
     let by_load: Vec<_> = [1, 2, 4, 8]
         .iter()
         .map(|&l| sweep_fixed_time(bayes::job, l, &ms))
@@ -39,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &m) in ms.iter().enumerate() {
         println!(
             "{:>5} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            m, by_load[0][i].speedup, by_load[1][i].speedup, by_load[2][i].speedup, by_load[3][i].speedup
+            m,
+            by_load[0][i].speedup,
+            by_load[1][i].speedup,
+            by_load[2][i].speedup,
+            by_load[3][i].speedup
         );
     }
     println!("  -> N/m = 4 wins; N/m = 8 spills executor memory, as in the paper.\n");

@@ -10,6 +10,8 @@
 //! ipso predict   runs.csv --window 16 --at 64,128,200 [--confidence 0.9]
 //! ipso provision runs.csv --window 16 --n-max 200 [--worker-cost 0.10 --master-cost 0.80]
 //! ipso report    runs.csv --window 16 --n-max 200 [--fixed-size]
+//! ipso trace     terasort --n 8 --out run.trace.json
+//! ipso metrics   terasort --n 8
 //! ```
 //!
 //! `runs.csv` columns: `n,seq_parallel,seq_serial,par_map,par_serial,par_overhead`
@@ -20,9 +22,9 @@ use std::fmt::Write as _;
 
 use ipso::confidence::{bootstrap_predictions, BootstrapOptions};
 use ipso::estimate::estimate_factors;
-use ipso::report::{analyze, ReportOptions};
 use ipso::predict::ScalingPredictor;
 use ipso::provision::{CostModel, Provisioner};
+use ipso::report::{analyze, ReportOptions};
 use ipso::taxonomy::{classify, WorkloadType};
 use ipso::{AsymptoticParams, Diagnostician, RunMeasurement, SpeedupCurve};
 
@@ -106,9 +108,9 @@ impl Args {
     pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, CliError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| CliError(format!("flag --{name} must be a number")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{name} must be a number"))),
         }
     }
 
@@ -137,7 +139,10 @@ pub fn parse_curve_csv(content: &str) -> Result<SpeedupCurve, CliError> {
         }
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
         if cols.len() < 2 {
-            return Err(CliError(format!("line {}: expected 'n,speedup'", lineno + 1)));
+            return Err(CliError(format!(
+                "line {}: expected 'n,speedup'",
+                lineno + 1
+            )));
         }
         let n: u32 = cols[0]
             .parse()
@@ -174,9 +179,9 @@ pub fn parse_runs_csv(content: &str) -> Result<Vec<RunMeasurement>, CliError> {
             )));
         }
         let parse = |idx: usize| -> Result<f64, CliError> {
-            cols[idx].parse().map_err(|_| {
-                CliError(format!("line {}: bad number {:?}", lineno + 1, cols[idx]))
-            })
+            cols[idx]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad number {:?}", lineno + 1, cols[idx])))
         };
         let run = RunMeasurement {
             n: cols[0]
@@ -198,7 +203,9 @@ pub fn parse_runs_csv(content: &str) -> Result<Vec<RunMeasurement>, CliError> {
 }
 
 fn is_header(line: &str) -> bool {
-    line.split(',').next().is_some_and(|c| c.trim().parse::<f64>().is_err())
+    line.split(',')
+        .next()
+        .is_some_and(|c| c.trim().parse::<f64>().is_err())
 }
 
 /// `ipso classify` — classify asymptotic parameters.
@@ -220,10 +227,13 @@ pub fn cmd_classify(args: &Args) -> Result<String, CliError> {
     writeln!(out, "workload : {workload}").expect("string write");
     writeln!(out, "class    : {class}").expect("string write");
     match bound {
-        Some(b) if b == 0.0 => {
-            writeln!(out, "bound    : peaks then decays towards 0").expect("string write")
+        Some(b) => {
+            if b == 0.0 {
+                writeln!(out, "bound    : peaks then decays towards 0").expect("string write")
+            } else {
+                writeln!(out, "bound    : {b:.3}").expect("string write")
+            }
         }
-        Some(b) => writeln!(out, "bound    : {b:.3}").expect("string write"),
         None => writeln!(out, "bound    : unbounded").expect("string write"),
     }
     for n in [4u32, 16, 64, 256] {
@@ -255,12 +265,20 @@ pub fn cmd_predict(args: &Args, csv: &str) -> Result<String, CliError> {
     let est = predictor.estimates();
 
     let mut out = String::new();
-    writeln!(out, "fitted on n <= {window} ({} runs)", est.external_samples.len())
-        .expect("string write");
+    writeln!(
+        out,
+        "fitted on n <= {window} ({} runs)",
+        est.external_samples.len()
+    )
+    .expect("string write");
     writeln!(out, "eta      : {:.4}", est.eta).expect("string write");
     writeln!(out, "EX shape : {:?}", est.external.shape).expect("string write");
-    writeln!(out, "IN shape : {:?}  ({:?})", est.internal.shape, est.internal.factor)
-        .expect("string write");
+    writeln!(
+        out,
+        "IN shape : {:?}  ({:?})",
+        est.internal.shape, est.internal.factor
+    )
+    .expect("string write");
     writeln!(out, "q  shape : {:?}", est.induced.shape).expect("string write");
 
     let targets: Vec<u32> = match args.flags.get("at") {
@@ -278,10 +296,18 @@ pub fn cmd_predict(args: &Args, csv: &str) -> Result<String, CliError> {
         let confidence: f64 = conf
             .parse()
             .map_err(|_| CliError("flag --confidence must be in (0, 1)".into()))?;
-        let opts = BootstrapOptions { fit_window: window, confidence, ..BootstrapOptions::default() };
+        let opts = BootstrapOptions {
+            fit_window: window,
+            confidence,
+            ..BootstrapOptions::default()
+        };
         let intervals = bootstrap_predictions(&runs, &targets, &opts)?;
-        writeln!(out, "\npredictions ({:.0}% bootstrap intervals):", confidence * 100.0)
-            .expect("string write");
+        writeln!(
+            out,
+            "\npredictions ({:.0}% bootstrap intervals):",
+            confidence * 100.0
+        )
+        .expect("string write");
         for i in intervals {
             writeln!(
                 out,
@@ -315,7 +341,11 @@ pub fn cmd_provision(args: &Args, csv: &str) -> Result<String, CliError> {
         args.f64_or("master-cost", 0.80)?,
     )?;
     let predictor = ScalingPredictor::fit(&runs, window)?;
-    let t1 = runs.iter().min_by_key(|r| r.n).expect("non-empty").sequential_time();
+    let t1 = runs
+        .iter()
+        .min_by_key(|r| r.n)
+        .expect("non-empty")
+        .sequential_time();
     let provisioner = Provisioner::new(predictor.model().clone(), t1, cost)?;
 
     let fastest = provisioner.fastest(n_max)?;
@@ -400,6 +430,140 @@ pub fn cmd_report(args: &Args, csv: &str) -> Result<String, CliError> {
     analyze(&runs, &opts).map_err(CliError::from)
 }
 
+/// Workloads runnable by `ipso trace` / `ipso metrics`.
+const TRACEABLE_WORKLOADS: &str = "terasort, sort, wordcount";
+
+/// Runs one named workload at scale-out degree `n` with the
+/// observability layer enabled and returns its job trace; the global
+/// span buffer and metrics registry hold the instrumentation afterwards.
+fn run_traced_workload(name: &str, n: u32, seed: u64) -> Result<ipso_cluster::JobTrace, CliError> {
+    use ipso_mapreduce::run_scale_out;
+    use ipso_workloads::{sort, terasort, wordcount};
+    if n == 0 {
+        return Err(CliError("flag --n must be at least 1".into()));
+    }
+    ipso_obs::set_enabled(true);
+    ipso_obs::reset();
+    let trace = match name {
+        "terasort" => {
+            run_scale_out(
+                &terasort::job_spec(n),
+                &terasort::TeraSortMapper,
+                &terasort::TeraSortReducer,
+                &terasort::make_splits(n, seed),
+            )
+            .trace
+        }
+        "sort" => {
+            run_scale_out(
+                &sort::job_spec(n),
+                &sort::SortMapper,
+                &sort::SortReducer,
+                &sort::make_splits(n, seed),
+            )
+            .trace
+        }
+        "wordcount" => {
+            run_scale_out(
+                &wordcount::job_spec(n),
+                &wordcount::WordCountMapper,
+                &wordcount::WordCountReducer,
+                &wordcount::make_splits(n, seed),
+            )
+            .trace
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown workload {other:?} (expected one of: {TRACEABLE_WORKLOADS})"
+            )))
+        }
+    };
+    Ok(trace)
+}
+
+/// Assembles the overhead breakdown from the engines' overhead gauges,
+/// with the trace's measured `Wo(n)` as the total.
+fn breakdown_from_gauges(total: f64) -> ipso::OverheadBreakdown {
+    ipso::overhead_breakdown(
+        total,
+        ipso_obs::gauge_value("overhead.scheduling_s"),
+        ipso_obs::gauge_value("overhead.broadcast_s"),
+        ipso_obs::gauge_value("overhead.shuffle_wait_s"),
+        ipso_obs::gauge_value("overhead.straggler_tail_s"),
+    )
+}
+
+/// `ipso trace` — run an instrumented workload and export a Chrome
+/// trace-event (Perfetto) timeline.
+///
+/// # Errors
+///
+/// Unknown workload, bad flags, or an unwritable output path.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let workload = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError(format!("missing workload (one of: {TRACEABLE_WORKLOADS})")))?
+        .clone();
+    let n = args.f64_or("n", 8.0)? as u32;
+    let seed = args.f64_or("seed", 3.0)? as u64;
+    let out = args
+        .flags
+        .get("out")
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| CliError("missing required flag --out FILE".into()))?
+        .clone();
+    let trace = run_traced_workload(&workload, n, seed)?;
+    let events = ipso_obs::take_events();
+    ipso_obs::set_enabled(false);
+    ipso_obs::write_chrome_trace(std::path::Path::new(&out), &events)
+        .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{workload} @ n = {n}: {} trace events -> {out}",
+        events.len()
+    )
+    .expect("string write");
+    writeln!(
+        text,
+        "makespan phases (s): init {:.3}  map {:.3}  shuffle {:.3}  merge {:.3}  reduce {:.3}",
+        trace.phases.init,
+        trace.phases.map,
+        trace.phases.shuffle,
+        trace.phases.merge,
+        trace.phases.reduce
+    )
+    .expect("string write");
+    write!(text, "{}", breakdown_from_gauges(trace.scale_out_overhead)).expect("string write");
+    writeln!(text, "open in https://ui.perfetto.dev or chrome://tracing").expect("string write");
+    Ok(text)
+}
+
+/// `ipso metrics` — run an instrumented workload and print the metrics
+/// registry snapshot plus the overhead breakdown.
+///
+/// # Errors
+///
+/// Unknown workload or bad flags.
+pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let workload = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError(format!("missing workload (one of: {TRACEABLE_WORKLOADS})")))?
+        .clone();
+    let n = args.f64_or("n", 8.0)? as u32;
+    let seed = args.f64_or("seed", 3.0)? as u64;
+    let trace = run_traced_workload(&workload, n, seed)?;
+    let snapshot = ipso_obs::snapshot();
+    ipso_obs::set_enabled(false);
+    let mut text = String::new();
+    writeln!(text, "{workload} @ n = {n} (seed {seed})").expect("string write");
+    write!(text, "{snapshot}").expect("string write");
+    write!(text, "{}", breakdown_from_gauges(trace.scale_out_overhead)).expect("string write");
+    Ok(text)
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "ipso — scaling analysis for data-intensive applications (ICDCS 2019)
@@ -412,10 +576,16 @@ USAGE:
   ipso provision <runs.csv> [--window 16] [--n-max 200]
                  [--worker-cost 0.10] [--master-cost 0.80] [--deadline SECS]
   ipso report    <runs.csv> [--window 16] [--n-max 200] [--fixed-size]
+  ipso trace     <workload> [--n 8] [--seed 3] --out run.trace.json
+  ipso metrics   <workload> [--n 8] [--seed 3]
 
 FILES:
   curve.csv : n,speedup
   runs.csv  : n,seq_parallel,seq_serial,par_map,par_serial,par_overhead
+
+WORKLOADS (trace / metrics): terasort, sort, wordcount
+  trace   writes a Chrome trace-event (Perfetto) timeline of the run
+  metrics prints the metrics-registry snapshot and overhead breakdown
 "
 }
 
@@ -434,8 +604,7 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
             .positional
             .first()
             .ok_or_else(|| CliError("missing input CSV path".into()))?;
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("cannot read {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))
     };
     match cmd.as_str() {
         "classify" => cmd_classify(&args),
@@ -459,7 +628,12 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
             let csv = read_file(&args)?;
             cmd_report(&args, &csv)
         }
+        "trace" => cmd_trace(&args),
+        "metrics" => cmd_metrics(&args),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
-        other => Err(CliError(format!("unknown command {other:?}\n\n{}", usage()))),
+        other => Err(CliError(format!(
+            "unknown command {other:?}\n\n{}",
+            usage()
+        ))),
     }
 }

@@ -2,8 +2,8 @@
 //! command implementations).
 
 use ipso_repro::cli::{
-    cmd_classify, cmd_diagnose, cmd_estimate, cmd_predict, cmd_provision, cmd_report,
-    parse_args, parse_curve_csv, parse_runs_csv, run, usage,
+    cmd_classify, cmd_diagnose, cmd_estimate, cmd_predict, cmd_provision, cmd_report, parse_args,
+    parse_curve_csv, parse_runs_csv, run, usage,
 };
 
 fn args(list: &[&str]) -> Vec<String> {
@@ -16,15 +16,28 @@ fn runs_csv() -> String {
     for n in [1u32, 2, 4, 8, 12, 16, 32, 64] {
         let nf = f64::from(n);
         let inn = 0.4 * nf + 0.6;
-        out.push_str(&format!("{n},{},{},{},{},0\n", 10.0 * nf, 3.0 * inn, 10.0, 3.0 * inn));
+        out.push_str(&format!(
+            "{n},{},{},{},{},0\n",
+            10.0 * nf,
+            3.0 * inn,
+            10.0,
+            3.0 * inn
+        ));
     }
     out
 }
 
 #[test]
 fn arg_parser_handles_flags_and_positionals() {
-    let a = parse_args(&args(&["file.csv", "--window", "16", "--fixed-size", "--at", "1,2"]))
-        .unwrap();
+    let a = parse_args(&args(&[
+        "file.csv",
+        "--window",
+        "16",
+        "--fixed-size",
+        "--at",
+        "1,2",
+    ]))
+    .unwrap();
     assert_eq!(a.positional, vec!["file.csv"]);
     assert_eq!(a.flags.get("window").unwrap(), "16");
     assert_eq!(a.flags.get("at").unwrap(), "1,2");
@@ -93,14 +106,28 @@ fn predict_command_extrapolates() {
     let out = cmd_predict(&a, &runs_csv()).unwrap();
     // True S(64) from the synthetic model.
     let expected = (640.0 + 3.0 * 26.2) / (10.0 + 3.0 * 26.2);
-    let line = out.lines().find(|l| l.contains("S(  64)")).expect("prediction line");
+    let line = out
+        .lines()
+        .find(|l| l.contains("S(  64)"))
+        .expect("prediction line");
     let value: f64 = line.split('=').nth(1).unwrap().trim().parse().unwrap();
-    assert!((value - expected).abs() / expected < 0.02, "{line} vs {expected}");
+    assert!(
+        (value - expected).abs() / expected < 0.02,
+        "{line} vs {expected}"
+    );
 }
 
 #[test]
 fn predict_command_supports_bootstrap_intervals() {
-    let a = parse_args(&args(&["--window", "16", "--at", "64", "--confidence", "0.9"])).unwrap();
+    let a = parse_args(&args(&[
+        "--window",
+        "16",
+        "--at",
+        "64",
+        "--confidence",
+        "0.9",
+    ]))
+    .unwrap();
     let out = cmd_predict(&a, &runs_csv()).unwrap();
     assert!(out.contains("90% bootstrap intervals"), "{out}");
     assert!(out.contains('['), "{out}");
@@ -110,7 +137,15 @@ fn predict_command_supports_bootstrap_intervals() {
 
 #[test]
 fn provision_command_recommends() {
-    let a = parse_args(&args(&["--window", "16", "--n-max", "100", "--deadline", "30"])).unwrap();
+    let a = parse_args(&args(&[
+        "--window",
+        "16",
+        "--n-max",
+        "100",
+        "--deadline",
+        "30",
+    ]))
+    .unwrap();
     let out = cmd_provision(&a, &runs_csv()).unwrap();
     assert!(out.contains("fastest"));
     assert!(out.contains("most efficient"));
@@ -143,7 +178,14 @@ fn run_dispatches_and_reports_unknown_commands() {
 #[test]
 fn usage_mentions_every_command() {
     let u = usage();
-    for cmd in ["classify", "diagnose", "estimate", "predict", "provision", "report"] {
+    for cmd in [
+        "classify",
+        "diagnose",
+        "estimate",
+        "predict",
+        "provision",
+        "report",
+    ] {
         assert!(u.contains(cmd), "usage missing {cmd}");
     }
 }

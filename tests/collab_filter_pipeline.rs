@@ -29,7 +29,10 @@ fn measured_speedups_match_eq18_row_by_row() {
         let via_model = p.speedup(f64::from(n)).unwrap();
         // The model interpolates the measured rows closely.
         let rel = (via_eq18 - via_model).abs() / via_eq18;
-        assert!(rel < 0.15, "n = {n}: eq18 {via_eq18:.2} vs model {via_model:.2}");
+        assert!(
+            rel < 0.15,
+            "n = {n}: eq18 {via_eq18:.2} vs model {via_model:.2}"
+        );
     }
 }
 
@@ -50,7 +53,10 @@ fn simulated_cf_reproduces_the_paper_shape() {
     // The simulated broadcast-heavy job: same 1/n task times, same linear
     // overhead, same interior peak.
     let pts = sweep_fixed_size(job, CF_TASKS, &[10, 30, 60, 90, 120, 180]);
-    let peak = pts.iter().max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
+    let peak = pts
+        .iter()
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+        .unwrap();
     assert!((30..=90).contains(&peak.m), "peak at m = {}", peak.m);
     assert!(pts.last().unwrap().speedup < peak.speedup);
 

@@ -27,7 +27,10 @@ fn sort_pipeline_identifies_in_proportion_scaling() {
     let coarse = d.diagnose(&curve, WorkloadType::FixedTime).unwrap();
     assert_eq!(coarse.trend, Trend::Bounded);
     let refined = d.refine(&coarse, &est).unwrap();
-    assert_eq!(refined.class, ScalingClass::FixedTime(FixedTimeClass::IIIt1));
+    assert_eq!(
+        refined.class,
+        ScalingClass::FixedTime(FixedTimeClass::IIIt1)
+    );
     assert!(refined.subtype_resolved);
 }
 
@@ -35,7 +38,9 @@ fn sort_pipeline_identifies_in_proportion_scaling() {
 fn qmc_pipeline_identifies_gustafson_like_scaling() {
     let sweep = qmc::sweep(SWEEP);
     let curve = sweep.speedup_curve().unwrap();
-    let report = Diagnostician::new().diagnose(&curve, WorkloadType::FixedTime).unwrap();
+    let report = Diagnostician::new()
+        .diagnose(&curve, WorkloadType::FixedTime)
+        .unwrap();
     assert_eq!(report.trend, Trend::Linear, "report: {report}");
     assert_eq!(report.class, ScalingClass::FixedTime(FixedTimeClass::It));
 }
@@ -100,7 +105,10 @@ fn outputs_are_correct_across_the_sweep() {
         &splits,
     );
     assert!(run.output.windows(2).all(|w| w[0] <= w[1]));
-    assert_eq!(run.output.len(), splits.iter().map(|s| s.records.len()).sum::<usize>());
+    assert_eq!(
+        run.output.len(),
+        splits.iter().map(|s| s.records.len()).sum::<usize>()
+    );
 
     let wc_splits = wordcount::make_splits(4, 5);
     let wc = ipso_mapreduce::run_sequential(

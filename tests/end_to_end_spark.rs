@@ -71,7 +71,9 @@ fn fixed_size_dimension_is_type_ivs_for_all_apps() {
     for (name, job) in APPS {
         let pts = sweep_fixed_size(job, 64, &ms);
         let curve = SpeedupCurve::from_pairs(pts.iter().map(|p| (p.m, p.speedup))).unwrap();
-        let report = Diagnostician::new().diagnose(&curve, WorkloadType::FixedSize).unwrap();
+        let report = Diagnostician::new()
+            .diagnose(&curve, WorkloadType::FixedSize)
+            .unwrap();
         assert_eq!(
             report.class,
             ScalingClass::FixedSize(FixedSizeClass::IVs),

@@ -1,0 +1,362 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the serde façade the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits, derive macros (from the sibling
+//! `serde_derive` stand-in), and a self-describing [`Content`] tree that
+//! `serde_json` renders to and parses from.
+//!
+//! The design deliberately collapses serde's serializer/visitor
+//! double-dispatch into one intermediate [`Content`] value: every
+//! serializable type lowers itself to `Content`, and every
+//! deserializable type raises itself from `&Content`. This supports the
+//! subset this workspace relies on — struct maps, externally and
+//! internally tagged enums, field renames and `#[serde(default)]` —
+//! with serde-compatible JSON on the wire.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is an object.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in map content (used by derived impls).
+#[doc(hidden)]
+pub fn __find<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// An error raised or lowered between typed values and [`Content`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentError(String);
+
+impl ContentError {
+    /// An arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        ContentError(msg.into())
+    }
+
+    /// Type mismatch.
+    pub fn expected(what: &str, context: &str) -> Self {
+        ContentError(format!("expected {what} while deserializing {context}"))
+    }
+
+    /// A required field is absent.
+    pub fn missing_field(field: &str, context: &str) -> Self {
+        ContentError(format!("missing field {field:?} in {context}"))
+    }
+
+    /// An enum tag matched no variant.
+    pub fn unknown_variant(variant: &str, context: &str) -> Self {
+        ContentError(format!("unknown variant {variant:?} for {context}"))
+    }
+}
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+/// A type that can lower itself to [`Content`].
+pub trait Serialize {
+    /// Lowers `self` to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can raise itself from [`Content`].
+pub trait Deserialize: Sized {
+    /// Raises a value from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContentError`] on shape or range mismatches.
+    fn from_content(content: &Content) -> Result<Self, ContentError>;
+}
+
+// ── primitive impls ─────────────────────────────────────────────────────
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(ContentError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, ContentError> {
+                match content {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| ContentError::custom(format!("{v} out of range"))),
+                    _ => Err(ContentError::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        u64::from_content(content).and_then(|v| {
+            usize::try_from(v).map_err(|_| ContentError::custom(format!("{v} out of range")))
+        })
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, ContentError> {
+                let wide = match content {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| ContentError::custom(format!("{v} out of range")))?,
+                    Content::I64(v) => *v,
+                    _ => return Err(ContentError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| ContentError::custom(format!("{wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        content
+            .as_f64()
+            .ok_or_else(|| ContentError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ContentError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(ContentError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            _ => Err(ContentError::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, ContentError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-3i32).to_content()).unwrap(), -3);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_widen_for_floats() {
+        assert_eq!(f64::from_content(&Content::U64(4)).unwrap(), 4.0);
+        assert_eq!(f64::from_content(&Content::I64(-4)).unwrap(), -4.0);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(1)).unwrap(),
+            Some(1)
+        );
+        assert_eq!(None::<u32>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn find_locates_keys() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert!(__find(&map, "a").is_some());
+        assert!(__find(&map, "b").is_none());
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` crate's `Content` data model, without
+//! `syn`/`quote`: the input item is parsed by walking raw token trees
+//! and the generated impl is assembled as a string and re-parsed.
+//!
+//! Supported shapes (everything this workspace uses):
+//!
+//! * structs with named fields;
+//! * enums with unit and struct variants, externally tagged by default
+//!   or internally tagged via `#[serde(tag = "...")]`;
+//! * `#[serde(rename = "...")]` on fields and variants;
+//! * `#[serde(default)]` on fields (missing key → `Default::default()`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// serde attributes gathered from one `#[serde(...)]`-bearing position.
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    /// `rename = "..."` value, as a Rust string literal (quotes included).
+    rename: Option<String>,
+    /// Container-level `tag = "..."` value, as a Rust string literal.
+    tag: Option<String>,
+    /// Field-level `default` flag.
+    default: bool,
+}
+
+struct Field {
+    ident: String,
+    attrs: SerdeAttrs,
+}
+
+impl Field {
+    /// The JSON key for this field, as a Rust string literal.
+    fn key(&self) -> String {
+        self.attrs
+            .rename
+            .clone()
+            .unwrap_or_else(|| format!("{:?}", self.ident))
+    }
+}
+
+struct Variant {
+    ident: String,
+    attrs: SerdeAttrs,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+impl Variant {
+    /// The JSON tag for this variant, as a Rust string literal.
+    fn key(&self) -> String {
+        self.attrs
+            .rename
+            .clone()
+            .unwrap_or_else(|| format!("{:?}", self.ident))
+    }
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        tag: Option<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Cursor over a token-tree list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Consumes leading attributes, returning merged serde attrs.
+    fn take_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.at_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                panic!("expected [...] after #");
+            };
+            merge_serde_attrs(&mut attrs, g.stream());
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(...)` etc.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes type tokens up to a top-level comma (tracking `<`/`>`).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+/// Parses the contents of one `[...]` attribute group into `attrs` if it
+/// is a `serde(...)` attribute; other attributes (docs, derives) are
+/// ignored.
+fn merge_serde_attrs(attrs: &mut SerdeAttrs, stream: TokenStream) {
+    let mut cur = Cursor::new(stream);
+    if !cur.at_ident("serde") {
+        return;
+    }
+    cur.next();
+    let Some(TokenTree::Group(args)) = cur.next() else {
+        return;
+    };
+    let mut inner = Cursor::new(args.stream());
+    while let Some(tok) = inner.next() {
+        let TokenTree::Ident(name) = tok else {
+            continue;
+        };
+        let name = name.to_string();
+        let value = if inner.at_punct('=') {
+            inner.next();
+            match inner.next() {
+                Some(TokenTree::Literal(lit)) => Some(lit.to_string()),
+                other => panic!("expected string literal after {name} =, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (name.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("default", None) => attrs.default = true,
+            ("deny_unknown_fields", None) => {}
+            (other, _) => panic!("unsupported serde attribute: {other}"),
+        }
+        if inner.at_punct(',') {
+            inner.next();
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` group into named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.take_attrs();
+        cur.skip_visibility();
+        let Some(TokenTree::Ident(ident)) = cur.next() else {
+            panic!("expected field identifier");
+        };
+        assert!(cur.at_punct(':'), "expected : after field {ident}");
+        cur.next();
+        cur.skip_type();
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        fields.push(Field {
+            ident: ident.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.take_attrs();
+        let Some(TokenTree::Ident(ident)) = cur.next() else {
+            panic!("expected variant identifier");
+        };
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                cur.next();
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the vendored serde_derive");
+            }
+            _ => None,
+        };
+        if cur.at_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant {
+            ident: ident.to_string(),
+            attrs,
+            fields,
+        });
+    }
+    variants
+}
+
+/// Parses the derive input item.
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let container_attrs = cur.take_attrs();
+    cur.skip_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct or enum, got {other:?}"),
+    };
+    let Some(TokenTree::Ident(name)) = cur.next() else {
+        panic!("expected item name");
+    };
+    if cur.at_punct('<') {
+        panic!("generic types are not supported by the vendored serde_derive");
+    }
+    let Some(TokenTree::Group(body)) = cur.next() else {
+        panic!("expected item body (unit/tuple structs are not supported)");
+    };
+    match kind.as_str() {
+        "struct" => {
+            assert!(
+                body.delimiter() == Delimiter::Brace,
+                "tuple structs are not supported by the vendored serde_derive"
+            );
+            Item::Struct {
+                name: name.to_string(),
+                fields: parse_named_fields(body.stream()),
+            }
+        }
+        "enum" => Item::Enum {
+            name: name.to_string(),
+            tag: container_attrs.tag,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Derives `serde::Serialize` (vendored data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__m.push(({}.to_string(), ::serde::Serialize::to_content(&self.{})));\n",
+                    f.key(),
+                    f.ident
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Content::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            tag,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                match (&v.fields, tag) {
+                    (None, None) => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::Content::Str({vk}.to_string()),\n",
+                        vi = v.ident,
+                        vk = v.key()
+                    )),
+                    (None, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::Content::Map(vec![({tag}.to_string(), \
+                         ::serde::Content::Str({vk}.to_string()))]),\n",
+                        vi = v.ident,
+                        vk = v.key()
+                    )),
+                    (Some(fields), _) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut pushes = String::new();
+                        if let Some(tag) = tag {
+                            pushes.push_str(&format!(
+                                "__m.push(({tag}.to_string(), \
+                                 ::serde::Content::Str({vk}.to_string())));\n",
+                                vk = v.key()
+                            ));
+                        }
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__m.push(({}.to_string(), \
+                                 ::serde::Serialize::to_content({})));\n",
+                                f.key(),
+                                f.ident
+                            ));
+                        }
+                        let inner = if tag.is_some() {
+                            "::serde::Content::Map(__m)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Content::Map(vec![({vk}.to_string(), \
+                                 ::serde::Content::Map(__m))])",
+                                vk = v.key()
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vi} {{ {binds} }} => {{\n\
+                                 let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                                 {pushes}\
+                                 {inner}\n\
+                             }}\n",
+                            vi = v.ident,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Emits the deserialization expression for one set of named fields read
+/// from a map binding named `__map`.
+fn named_fields_body(context: &str, constructor: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::ContentError::missing_field({}, \"{context}\"))",
+                f.key()
+            )
+        };
+        inits.push_str(&format!(
+            "{fi}: match ::serde::__find(__map, {fk}) {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            fi = f.ident,
+            fk = f.key()
+        ));
+    }
+    format!("::std::result::Result::Ok({constructor} {{\n{inits}}})")
+}
+
+/// Derives `serde::Deserialize` (vendored data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = named_fields_body(name, name, fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::ContentError> {{\n\
+                         let __map = __c.as_map().ok_or_else(|| \
+                             ::serde::ContentError::expected(\"map\", \"{name}\"))?;\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            tag: Some(tag),
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let construct = match &v.fields {
+                    None => format!("::std::result::Result::Ok({name}::{})", v.ident),
+                    Some(fields) => {
+                        named_fields_body(name, &format!("{name}::{}", v.ident), fields)
+                    }
+                };
+                arms.push_str(&format!("{vk} => {{ {construct} }}\n", vk = v.key()));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::ContentError> {{\n\
+                         let __map = __c.as_map().ok_or_else(|| \
+                             ::serde::ContentError::expected(\"map\", \"{name}\"))?;\n\
+                         let __tag = ::serde::__find(__map, {tag}).ok_or_else(|| \
+                             ::serde::ContentError::missing_field({tag}, \"{name}\"))?;\n\
+                         let __tag = __tag.as_str().ok_or_else(|| \
+                             ::serde::ContentError::expected(\"string tag\", \"{name}\"))?;\n\
+                         match __tag {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::ContentError::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            tag: None,
+            variants,
+        } => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "{vk} => ::std::result::Result::Ok({name}::{vi}),\n",
+                        vk = v.key(),
+                        vi = v.ident
+                    )),
+                    Some(fields) => {
+                        let construct =
+                            named_fields_body(name, &format!("{name}::{}", v.ident), fields);
+                        struct_arms.push_str(&format!(
+                            "{vk} => {{\n\
+                                 let __map = __v.as_map().ok_or_else(|| \
+                                     ::serde::ContentError::expected(\
+                                         \"map\", \"{name}::{vi}\"))?;\n\
+                                 {construct}\n\
+                             }}\n",
+                            vk = v.key(),
+                            vi = v.ident
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::ContentError> {{\n\
+                         match __c {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::ContentError::unknown_variant(\
+                                         __other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __v) = &__m[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {struct_arms}\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::ContentError::unknown_variant(\
+                                             __other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::ContentError::expected(\
+                                 \"string or single-key map\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}
