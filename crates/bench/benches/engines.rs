@@ -4,6 +4,7 @@
 //! scaling sweep.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipso_bench::SweepRunner;
 use ipso_spark::run_job;
 use ipso_workloads::{bayes, sort, wordcount};
 
@@ -46,6 +47,28 @@ fn bench_full_sweep(c: &mut Criterion) {
     c.bench_function("sort_sweep_to_n16", |b| {
         b.iter(|| sort::sweep(black_box(&[1, 2, 4, 8, 16])))
     });
+
+    // The same sweep decomposed into per-n grid points through the
+    // deterministic runner: jobs = 1 measures the runner's overhead over
+    // the plain loop, jobs = 0 (all hardware threads) its speedup.
+    let cases = [
+        ("sort_sweep_to_n16_runner_seq", 1usize),
+        ("sort_sweep_to_n16_runner_par", 0),
+    ];
+    for (label, jobs) in cases {
+        let runner = SweepRunner::new(jobs);
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                runner
+                    .map(black_box(vec![1u32, 2, 4, 8, 16]), |_ctx, n| {
+                        sort::sweep(&[n]).points
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
 }
 
 criterion_group!(

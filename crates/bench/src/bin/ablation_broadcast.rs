@@ -7,23 +7,38 @@
 //! Spark's later TorrentBroadcast does) should defer the peak and raise
 //! it — which is exactly what this ablation shows.
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_spark::sweep_fixed_size;
 use ipso_workloads::collab_filter::{job, CF_TASKS};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let ms = [10u32, 20, 30, 45, 60, 90, 120, 180, 240];
 
-    let serial = sweep_fixed_size(job, CF_TASKS, &ms);
-    let tree = sweep_fixed_size(
-        |n, m| {
-            let mut spec = job(n, m);
-            spec.network.tree_broadcast = true;
-            spec
-        },
-        CF_TASKS,
-        &ms,
-    );
+    // Grid: (tree?, m), variant-major so each variant's points
+    // reassemble contiguously.
+    let grid: Vec<(bool, u32)> = [false, true]
+        .iter()
+        .flat_map(|&t| ms.iter().map(move |&m| (t, m)))
+        .collect();
+    let mut points = runner
+        .map(grid, |_ctx, (tree_broadcast, m)| {
+            sweep_fixed_size(
+                |n, mm| {
+                    let mut spec = job(n, mm);
+                    spec.network.tree_broadcast = tree_broadcast;
+                    spec
+                },
+                CF_TASKS,
+                &[m],
+            )
+            .into_iter()
+            .next()
+            .expect("one point per grid cell")
+        })
+        .into_iter();
+    let serial: Vec<ipso_spark::SparkSweepPoint> = points.by_ref().take(ms.len()).collect();
+    let tree: Vec<ipso_spark::SparkSweepPoint> = points.by_ref().take(ms.len()).collect();
 
     let mut table = Table::new(
         "ablation_broadcast",
@@ -48,7 +63,7 @@ fn main() {
 
     let peak = |pts: &[ipso_spark::SparkSweepPoint]| {
         pts.iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("finite"))
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
             .map(|p| (p.m, p.speedup))
             .expect("non-empty")
     };

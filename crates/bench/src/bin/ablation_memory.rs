@@ -7,13 +7,14 @@
 //! more RAM shifts the spill boundary right and makes heavier loads
 //! optimal.
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_spark::sweep_fixed_time;
 use ipso_workloads::bayes;
 
 const GIB: u64 = 1024 * 1024 * 1024;
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let loads = [1u32, 2, 4, 8, 16];
     let memories = [2 * GIB, 4 * GIB, 8 * GIB, 16 * GIB];
     let m = 16;
@@ -31,10 +32,14 @@ fn main() {
         ],
     );
 
-    println!("speedup at m = {m} by per-executor load level and executor memory:");
-    for &mem in &memories {
-        let mut speedups = Vec::new();
-        for &load in &loads {
+    // Grid: (memory, load), memory-major so each memory's load series
+    // reassembles contiguously.
+    let grid: Vec<(u64, u32)> = memories
+        .iter()
+        .flat_map(|&mem| loads.iter().map(move |&load| (mem, load)))
+        .collect();
+    let mut all_speedups = runner
+        .map(grid, |_ctx, (mem, load)| {
             let pts = sweep_fixed_time(
                 |n, mm| {
                     let mut spec = bayes::job(n, mm);
@@ -44,12 +49,17 @@ fn main() {
                 load,
                 &[m],
             );
-            speedups.push(pts[0].speedup);
-        }
+            pts[0].speedup
+        })
+        .into_iter();
+
+    println!("speedup at m = {m} by per-executor load level and executor memory:");
+    for &mem in &memories {
+        let speedups: Vec<f64> = all_speedups.by_ref().take(loads.len()).collect();
         let best_idx = speedups
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty")
             .0;
         let best_load = loads[best_idx];

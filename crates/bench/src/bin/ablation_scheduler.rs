@@ -6,17 +6,19 @@
 //! and an idealized distributed scheduler — and measures how much of the
 //! wall clock the dispatcher eats as the task count grows.
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_cluster::CentralScheduler;
 use ipso_spark::{run_job, run_sequential_reference};
 use ipso_workloads::bayes;
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let schedulers: [(&str, CentralScheduler); 3] = [
         ("hadoop", CentralScheduler::hadoop_like()),
         ("spark", CentralScheduler::spark_like()),
         ("idealized", CentralScheduler::idealized()),
     ];
+    let task_counts = [64u32, 128, 256, 512, 1024, 2048];
 
     let mut table = Table::new(
         "ablation_scheduler",
@@ -28,22 +30,30 @@ fn main() {
         ],
     );
 
-    for &tasks in &[64u32, 128, 256, 512, 1024, 2048] {
-        let m = 64;
-        let mut row = vec![f64::from(tasks)];
-        for (_, sched) in &schedulers {
+    // Grid: (tasks, scheduler), task-count-major to match the row order.
+    let grid: Vec<(u32, usize)> = task_counts
+        .iter()
+        .flat_map(|&t| (0..schedulers.len()).map(move |s| (t, s)))
+        .collect();
+    let mut speedups = runner
+        .map(grid, |_ctx, (tasks, s)| {
+            let m = 64;
             let mut spec = bayes::job(tasks, m);
             // Shrink per-task compute so dispatch matters, as in
             // fine-grained cloud workloads.
-            for s in &mut spec.stages {
-                s.task_compute /= 8.0;
-                s.input_bytes_per_task = 0;
-                s.caches_input = false;
+            for stage in &mut spec.stages {
+                stage.task_compute /= 8.0;
+                stage.input_bytes_per_task = 0;
+                stage.caches_input = false;
             }
-            spec.scheduler = *sched;
-            let speedup = run_sequential_reference(&spec) / run_job(&spec).total_time;
-            row.push(speedup);
-        }
+            spec.scheduler = schedulers[s].1;
+            run_sequential_reference(&spec) / run_job(&spec).total_time
+        })
+        .into_iter();
+
+    for &tasks in &task_counts {
+        let mut row = vec![f64::from(tasks)];
+        row.extend(speedups.by_ref().take(schedulers.len()));
         table.push(row);
     }
     table.emit();

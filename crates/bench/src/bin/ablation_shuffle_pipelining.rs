@@ -12,11 +12,12 @@
 //! that.
 
 use ipso::estimate::estimate_factors;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_mapreduce::ScalingSweep;
 use ipso_workloads::sort;
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let ns: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 96, 128, 160];
 
     // A shuffle-heavy Sort variant: the reducer ingests at 90 MB/s, so
@@ -28,18 +29,33 @@ fn main() {
         spec.pipelined_shuffle = pipelined;
         spec
     };
-    let sweep_with = |pipelined: bool| {
+    let point_at = |n: u32, pipelined: bool| {
         ScalingSweep::run(
-            &ns,
+            &[n],
             &sort::SortMapper,
             &sort::SortReducer,
             |n| spec_for(n, pipelined),
             |n| sort::make_splits(n, 2),
             |n| sort::make_splits(n, 2),
         )
+        .points
     };
-    let barrier = sweep_with(false);
-    let pipelined = sweep_with(true);
+
+    // Grid: (pipelined?, n), variant-major so each variant's points
+    // reassemble contiguously.
+    let grid: Vec<(bool, u32)> = [false, true]
+        .iter()
+        .flat_map(|&p| ns.iter().map(move |&n| (p, n)))
+        .collect();
+    let mut points = runner
+        .map(grid, |_ctx, (pipelined, n)| point_at(n, pipelined))
+        .into_iter();
+    let barrier = ScalingSweep {
+        points: points.by_ref().take(ns.len()).flatten().collect(),
+    };
+    let pipelined = ScalingSweep {
+        points: points.by_ref().take(ns.len()).flatten().collect(),
+    };
 
     let mut table = Table::new(
         "ablation_shuffle_pipelining",

@@ -9,9 +9,10 @@
 
 use ipso::stochastic::{StochasticIpso, TaskTimeDistribution};
 use ipso::ScalingFactor;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let dists: Vec<(&str, TaskTimeDistribution)> = vec![
         (
             "deterministic",
@@ -64,11 +65,15 @@ fn main() {
         })
         .collect();
 
-    for &n in &[1u32, 4, 16, 64, 128, 256] {
+    // One grid point per n-row; every distribution is evaluated at it.
+    let rows = runner.map(vec![1u32, 4, 16, 64, 128, 256], |_ctx, n| {
         let mut row = vec![f64::from(n)];
         for m in &models {
             row.push(m.speedup(n).expect("evaluable"));
         }
+        row
+    });
+    for row in rows {
         table.push(row);
     }
     table.emit();

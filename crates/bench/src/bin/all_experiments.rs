@@ -1,10 +1,16 @@
 //! Runs every figure/table regeneration binary in sequence.
 //!
 //! ```text
-//! cargo run -p ipso-bench --release --bin all_experiments
+//! cargo run -p ipso-bench --release --bin all_experiments -- --jobs 4
 //! ```
+//!
+//! The `--jobs N` flag is forwarded to every child binary, so one flag
+//! parallelizes the whole regeneration; the CSVs under `results/` are
+//! byte-identical for every `N`.
 
 use std::process::Command;
+
+use ipso_bench::jobs_from_args;
 
 const EXPERIMENTS: &[&str] = &[
     "fig2_taxonomy_fixed_time",
@@ -28,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
+    let jobs = jobs_from_args(std::env::args().skip(1));
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
@@ -36,6 +43,8 @@ fn main() {
         println!("▶ {name}");
         println!("──────────────────────────────────────────────────────");
         let status = Command::new(bin_dir.join(name))
+            .arg("--jobs")
+            .arg(jobs.to_string())
             .status()
             .unwrap_or_else(|e| panic!("cannot launch {name}: {e}"));
         if !status.success() {

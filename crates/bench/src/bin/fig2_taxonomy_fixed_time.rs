@@ -6,9 +6,10 @@
 
 use ipso::taxonomy::{classify, WorkloadType};
 use ipso::AsymptoticParams;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     // Representative parameter sets (η, α, δ, β, γ) for each behaviour.
     let cases: Vec<(&str, AsymptoticParams)> = vec![
         (
@@ -39,11 +40,15 @@ fn main() {
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new("fig2_taxonomy_fixed_time", &col_refs);
 
-    for &n in &ns {
+    // One grid point per n-row; every case is evaluated at that n.
+    let rows = runner.map(ns, |_ctx, n| {
         let mut row = vec![f64::from(n)];
         for (_, p) in &cases {
             row.push(p.speedup(f64::from(n)).expect("evaluable"));
         }
+        row
+    });
+    for row in rows {
         table.push(row);
     }
     table.emit();

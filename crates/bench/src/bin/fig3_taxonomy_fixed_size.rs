@@ -4,9 +4,10 @@
 
 use ipso::taxonomy::{classify, WorkloadType};
 use ipso::AsymptoticParams;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let cases: Vec<(&str, AsymptoticParams)> = vec![
         (
             "Is",
@@ -36,11 +37,15 @@ fn main() {
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut table = Table::new("fig3_taxonomy_fixed_size", &col_refs);
 
-    for &n in &ns {
+    // One grid point per n-row; every case is evaluated at that n.
+    let rows = runner.map(ns, |_ctx, n| {
         let mut row = vec![f64::from(n)];
         for (_, p) in &cases {
             row.push(p.speedup(f64::from(n)).expect("evaluable"));
         }
+        row
+    });
+    for row in rows {
         table.push(row);
     }
     table.emit();

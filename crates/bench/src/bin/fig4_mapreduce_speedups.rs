@@ -7,17 +7,38 @@
 //! TeraSort near 3 including a dip near the memory-overflow point.
 
 use ipso::classic::gustafson;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
+use ipso_mapreduce::ScalingSweep;
 use ipso_workloads::{qmc, sort, terasort, wordcount, PAPER_SWEEP};
+
+/// A named MapReduce sweep constructor.
+type Case = (&'static str, fn(&[u32]) -> ScalingSweep);
 
 fn main() {
     let trace_out = ipso_bench::trace_out_from_env();
-    let cases: Vec<(&str, ipso_mapreduce::ScalingSweep)> = vec![
-        ("qmc", qmc::sweep(PAPER_SWEEP)),
-        ("wordcount", wordcount::sweep(PAPER_SWEEP)),
-        ("sort", sort::sweep(PAPER_SWEEP)),
-        ("terasort", terasort::sweep(PAPER_SWEEP)),
+    let runner = SweepRunner::from_env();
+    let case_fns: Vec<Case> = vec![
+        ("qmc", qmc::sweep),
+        ("wordcount", wordcount::sweep),
+        ("sort", sort::sweep),
+        ("terasort", terasort::sweep),
     ];
+
+    // One grid point per (case, n): each runs its own sequential
+    // reference plus scale-out simulation, independently of the rest.
+    let grid: Vec<(usize, u32)> = (0..case_fns.len())
+        .flat_map(|c| PAPER_SWEEP.iter().map(move |&n| (c, n)))
+        .collect();
+    let mut points = runner
+        .map(grid, |_ctx, (c, n)| case_fns[c].1(&[n]).points)
+        .into_iter();
+    let cases: Vec<(&str, ScalingSweep)> = case_fns
+        .iter()
+        .map(|(name, _)| {
+            let points = points.by_ref().take(PAPER_SWEEP.len()).flatten().collect();
+            (*name, ScalingSweep { points })
+        })
+        .collect();
 
     for (name, sweep) in &cases {
         let measurements = sweep.measurements();

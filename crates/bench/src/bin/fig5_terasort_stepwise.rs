@@ -6,14 +6,21 @@
 //! regression, and reports the slopes the paper quotes (≈ 0.15 → ≈ 0.25,
 //! relative to the same normalization).
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_fit::fit_two_segment;
+use ipso_mapreduce::ScalingSweep;
 use ipso_workloads::terasort;
 
 fn main() {
     let trace_out = ipso_bench::trace_out_from_env();
+    let runner = SweepRunner::from_env();
     let ns: Vec<u32> = (1..=40).collect();
-    let sweep = terasort::sweep(&ns);
+    let points = runner
+        .map(ns, |_ctx, n| terasort::sweep(&[n]).points)
+        .into_iter()
+        .flatten()
+        .collect();
+    let sweep = ScalingSweep { points };
     let measurements = sweep.measurements();
     let ws1 = measurements[0].seq_serial_work;
 

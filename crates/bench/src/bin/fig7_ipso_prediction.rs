@@ -9,29 +9,71 @@
 
 use ipso::classic::gustafson;
 use ipso::predict::ScalingPredictor;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_mapreduce::ScalingSweep;
 use ipso_workloads::{qmc, sort, terasort, wordcount, FIT_WINDOW, PAPER_SWEEP};
 
+/// A named MapReduce sweep constructor with its n-grid and fit window.
+struct Case {
+    name: &'static str,
+    sweep: fn(&[u32]) -> ScalingSweep,
+    ns: Vec<u32>,
+    late_window: bool,
+}
+
 fn main() {
-    let cases: Vec<(&str, ScalingSweep, bool)> = vec![
-        ("qmc", qmc::sweep(PAPER_SWEEP), false),
-        ("wordcount", wordcount::sweep(PAPER_SWEEP), false),
-        ("sort", sort::sweep(PAPER_SWEEP), false),
+    let runner = SweepRunner::from_env();
+    let case_fns: Vec<Case> = vec![
+        Case {
+            name: "qmc",
+            sweep: qmc::sweep,
+            ns: PAPER_SWEEP.to_vec(),
+            late_window: false,
+        },
+        Case {
+            name: "wordcount",
+            sweep: wordcount::sweep,
+            ns: PAPER_SWEEP.to_vec(),
+            late_window: false,
+        },
+        Case {
+            name: "sort",
+            sweep: sort::sweep,
+            ns: PAPER_SWEEP.to_vec(),
+            late_window: false,
+        },
         // TeraSort: fit past the spill boundary, as the paper does; the
         // n = 1 run still provides the workload reference.
-        (
-            "terasort",
-            terasort::sweep(&[
+        Case {
+            name: "terasort",
+            sweep: terasort::sweep,
+            ns: vec![
                 1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48, 64, 96, 128, 160, 200,
-            ]),
-            true,
-        ),
+            ],
+            late_window: true,
+        },
     ];
 
-    for (name, sweep, late_window) in &cases {
+    let grid: Vec<(usize, u32)> = case_fns
+        .iter()
+        .enumerate()
+        .flat_map(|(c, case)| case.ns.iter().map(move |&n| (c, n)))
+        .collect();
+    let mut points = runner
+        .map(grid, |_ctx, (c, n)| (case_fns[c].sweep)(&[n]).points)
+        .into_iter();
+    let cases: Vec<(&Case, ScalingSweep)> = case_fns
+        .iter()
+        .map(|case| {
+            let points = points.by_ref().take(case.ns.len()).flatten().collect();
+            (case, ScalingSweep { points })
+        })
+        .collect();
+
+    for (case, sweep) in &cases {
+        let name = case.name;
         let measurements = sweep.measurements();
-        let predictor = if *late_window {
+        let predictor = if case.late_window {
             ScalingPredictor::fit_range(&measurements, 16, 64).expect("fit")
         } else {
             ScalingPredictor::fit(&measurements, FIT_WINDOW).expect("fit")

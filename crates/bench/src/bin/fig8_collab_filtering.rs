@@ -9,10 +9,11 @@
 
 use ipso::predict::FixedSizePredictor;
 use ipso::stochastic::fixed_size_speedup;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_workloads::collab_filter::{table1_samples, TABLE_I};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let samples = table1_samples();
     let predictor = FixedSizePredictor::fit(&samples).expect("fit Table I");
 
@@ -32,16 +33,24 @@ fn main() {
         "fig8_collab_filtering",
         &["n", "measured", "ipso", "amdahl"],
     );
-    // Measured points from Table I via Eq. 18 with the fitted Tp,1(1).
-    for &(n, tmax, wo) in &TABLE_I {
-        let measured = fixed_size_speedup(predictor.tp1, tmax, wo).expect("valid");
+    // Grid: measured points from Table I (with their raw measurements)
+    // followed by the extrapolated ns beyond them.
+    let grid: Vec<(u32, Option<(f64, f64)>)> = TABLE_I
+        .iter()
+        .map(|&(n, tmax, wo)| (n, Some((tmax, wo))))
+        .chain([120u32, 150, 180, 210, 240].into_iter().map(|n| (n, None)))
+        .collect();
+    let rows = runner.map(grid, |_ctx, (n, sample)| {
         let ipso = predictor.speedup(f64::from(n)).expect("valid");
-        table.push(vec![f64::from(n), measured, ipso, f64::from(n)]);
-    }
-    // Extrapolated IPSO curve beyond the measurements.
-    for n in [120u32, 150, 180, 210, 240] {
-        let ipso = predictor.speedup(f64::from(n)).expect("valid");
-        table.push(vec![f64::from(n), f64::NAN, ipso, f64::from(n)]);
+        // Measured points evaluate Eq. 18 with the fitted Tp,1(1).
+        let measured = match sample {
+            Some((tmax, wo)) => fixed_size_speedup(predictor.tp1, tmax, wo).expect("valid"),
+            None => f64::NAN,
+        };
+        vec![f64::from(n), measured, ipso, f64::from(n)]
+    });
+    for row in rows {
+        table.push(row);
     }
     table.emit();
 

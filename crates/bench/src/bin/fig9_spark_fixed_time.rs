@@ -7,7 +7,7 @@
 //! tasks per executor) — but `N/m = 8` drops below `N/m = 4` because the
 //! cached partitions overflow executor memory and spill.
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_spark::sweep_fixed_time;
 use ipso_workloads::{bayes, nweight, random_forest, svm};
 
@@ -16,6 +16,7 @@ type App = (&'static str, fn(u32, u32) -> ipso_spark::SparkJobSpec);
 
 fn main() {
     let trace_out = ipso_bench::trace_out_from_env();
+    let runner = SweepRunner::from_env();
     let ms: Vec<u32> = vec![1, 2, 4, 8, 16, 24, 32, 48, 64];
     let loads: Vec<u32> = vec![1, 2, 4, 8];
     let apps: Vec<App> = vec![
@@ -25,15 +26,34 @@ fn main() {
         ("nweight", nweight::job),
     ];
 
-    for (name, make_job) in &apps {
+    // One grid point per (app, load, m), app-major then load-major so
+    // each app's per-load series reassembles contiguously.
+    let mut grid: Vec<(usize, u32, u32)> = Vec::new();
+    for a in 0..apps.len() {
+        for &l in &loads {
+            for &m in &ms {
+                grid.push((a, l, m));
+            }
+        }
+    }
+    let mut points = runner
+        .map(grid, |_ctx, (a, load, m)| {
+            sweep_fixed_time(apps[a].1, load, &[m])
+                .into_iter()
+                .next()
+                .expect("one point per grid cell")
+        })
+        .into_iter();
+
+    for (name, _) in &apps {
+        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> = loads
+            .iter()
+            .map(|_| points.by_ref().take(ms.len()).collect())
+            .collect();
         let mut table = Table::new(
             &format!("fig9_{name}"),
             &["m", "load1", "load2", "load4", "load8"],
         );
-        let sweeps: Vec<Vec<ipso_spark::SparkSweepPoint>> = loads
-            .iter()
-            .map(|&l| sweep_fixed_time(*make_job, l, &ms))
-            .collect();
         for (i, &m) in ms.iter().enumerate() {
             table.push(vec![
                 f64::from(m),

@@ -9,11 +9,19 @@
 
 use ipso::predict::ScalingPredictor;
 use ipso::provision::{CostModel, Provisioner};
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
+use ipso_mapreduce::ScalingSweep;
 use ipso_workloads::{sort, FIT_WINDOW};
 
 fn main() {
-    let sweep = sort::sweep(&[1, 2, 4, 8, 12, 16]);
+    let runner = SweepRunner::from_env();
+    let ns: Vec<u32> = vec![1, 2, 4, 8, 12, 16];
+    let points = runner
+        .map(ns, |_ctx, n| sort::sweep(&[n]).points)
+        .into_iter()
+        .flatten()
+        .collect();
+    let sweep = ScalingSweep { points };
     let measurements = sweep.measurements();
     let predictor = ScalingPredictor::fit(&measurements, FIT_WINDOW).expect("fit");
     let t1 = measurements[0].sequential_time();

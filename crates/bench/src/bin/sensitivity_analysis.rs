@@ -8,9 +8,10 @@
 
 use ipso::sensitivity::sensitivity_profile;
 use ipso::AsymptoticParams;
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let cases: Vec<(&str, AsymptoticParams)> = vec![
         (
             "gustafson_like",
@@ -30,15 +31,19 @@ fn main() {
         ),
     ];
 
-    for (name, params) in &cases {
+    // One grid point per workload class.
+    let profiles = runner.map((0..cases.len()).collect(), |_ctx, i| {
+        sensitivity_profile(&cases[i].1, [2u32, 8, 32, 64, 128, 256]).expect("evaluable")
+    });
+
+    for ((name, _), profile) in cases.iter().zip(&profiles) {
         let mut table = Table::new(
             &format!("sensitivity_{name}"),
             &[
                 "n", "speedup", "d_eta", "d_alpha", "d_delta", "d_beta", "d_gamma",
             ],
         );
-        let profile = sensitivity_profile(params, [2u32, 8, 32, 64, 128, 256]).expect("evaluable");
-        for s in &profile {
+        for s in profile {
             table.push(vec![
                 s.n, s.speedup, s.eta, s.alpha, s.delta, s.beta, s.gamma,
             ]);

@@ -5,11 +5,12 @@
 //! and our simulated broadcast-heavy CF job measured the same way, to
 //! show the simulator reproduces the measured workload shape.
 
-use ipso_bench::Table;
+use ipso_bench::{SweepRunner, Table};
 use ipso_spark::run_job;
 use ipso_workloads::collab_filter::{job, CF_TASKS, TABLE_I};
 
 fn main() {
+    let runner = SweepRunner::from_env();
     let mut table = Table::new(
         "table1_collab_filtering",
         &[
@@ -20,16 +21,20 @@ fn main() {
             "sim_overhead",
         ],
     );
-    for &(n, paper_tmax, paper_wo) in &TABLE_I {
+    // One grid point per Table I row: each runs its own simulated job.
+    let rows = runner.map(TABLE_I.to_vec(), |_ctx, (n, paper_tmax, paper_wo)| {
         let run = run_job(&job(CF_TASKS, n));
         let sim_split = run.total_time - run.overhead_time;
-        table.push(vec![
+        vec![
             f64::from(n),
             paper_tmax,
             paper_wo,
             sim_split,
             run.overhead_time,
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     table.emit();
 

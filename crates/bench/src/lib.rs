@@ -26,6 +26,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+pub mod parallel;
+
+pub use parallel::{jobs_from_args, PointCtx, SweepRunner};
+
 /// Where experiment CSVs are written: `<workspace>/results/`.
 pub fn results_dir() -> PathBuf {
     let dir = workspace_root().join("results");

@@ -107,7 +107,7 @@ fn peak_queue_depth(queued: &[(f64, f64)]) -> f64 {
     }
     // Sort by time with departures (-1) before arrivals at equal times so
     // a back-to-back handoff does not inflate the peak.
-    boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    boundaries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut depth = 0i32;
     let mut peak = 0i32;
     for (_, delta) in boundaries {

@@ -160,7 +160,9 @@ pub fn bootstrap_predictions(
     let alpha = (1.0 - opts.confidence) / 2.0;
     let mut out = Vec::with_capacity(targets.len());
     for (slot, &target) in samples.iter_mut().zip(targets) {
-        slot.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        // Samples are filtered to finite values above; total_cmp keeps
+        // the sort panic-free even if that invariant ever slips.
+        slot.sort_by(f64::total_cmp);
         let lower = percentile_of_sorted(slot, alpha);
         let upper = percentile_of_sorted(slot, 1.0 - alpha);
         out.push(PredictionInterval {

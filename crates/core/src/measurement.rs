@@ -99,11 +99,12 @@ impl SpeedupCurve {
 
     /// The point with the highest speedup.
     pub fn peak(&self) -> Option<SpeedupPoint> {
-        self.points.iter().copied().max_by(|a, b| {
-            a.speedup
-                .partial_cmp(&b.speedup)
-                .expect("finite by construction")
-        })
+        // Curves built by from_pairs are finite by construction, but the
+        // FromIterator path is open-ended: total order instead of panic.
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
     }
 
     /// Whether the speedup never decreases as `n` grows.
@@ -125,9 +126,16 @@ impl SpeedupCurve {
     }
 }
 
+/// Collects points into a curve, sorting by `n`. Points with a
+/// non-finite speedup or `n = 0` are dropped — this is the lenient
+/// ingestion path; use [`SpeedupCurve::from_pairs`] to reject them with
+/// a [`ModelError`] instead.
 impl FromIterator<SpeedupPoint> for SpeedupCurve {
     fn from_iter<T: IntoIterator<Item = SpeedupPoint>>(iter: T) -> Self {
-        let mut points: Vec<SpeedupPoint> = iter.into_iter().collect();
+        let mut points: Vec<SpeedupPoint> = iter
+            .into_iter()
+            .filter(|p| p.n > 0 && p.speedup.is_finite())
+            .collect();
         points.sort_by_key(|p| p.n);
         SpeedupCurve { points }
     }
@@ -434,6 +442,30 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(c.points()[0].n, 1);
+    }
+
+    #[test]
+    fn collect_drops_invalid_points_and_peak_stays_nan_safe() {
+        // The lenient FromIterator path filters NaN/inf/n = 0 instead of
+        // letting them poison peak() (which used to panic on NaN via
+        // partial_cmp().unwrap()).
+        let c: SpeedupCurve = [
+            SpeedupPoint { n: 1, speedup: 1.0 },
+            SpeedupPoint {
+                n: 2,
+                speedup: f64::NAN,
+            },
+            SpeedupPoint {
+                n: 3,
+                speedup: f64::INFINITY,
+            },
+            SpeedupPoint { n: 0, speedup: 5.0 },
+            SpeedupPoint { n: 4, speedup: 3.0 },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peak().unwrap().n, 4);
     }
 
     #[test]

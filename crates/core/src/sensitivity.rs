@@ -50,7 +50,7 @@ impl Sensitivity {
         ];
         entries
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sensitivities"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty")
             .0
     }

@@ -16,7 +16,8 @@
 //! heavy-tailed stragglers) with analytic `E[max]` where available and
 //! seeded Monte-Carlo otherwise.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::check_scale_out;
 use crate::factors::ScalingFactor;
@@ -63,14 +64,23 @@ pub enum TaskTimeDistribution {
 }
 
 impl TaskTimeDistribution {
-    /// Mean of the distribution.
+    /// Mean of the distribution. A Pareto tail with `shape <= 1` has no
+    /// finite mean: this returns `+inf` rather than the negative garbage
+    /// the naive formula produces (such distributions are rejected by
+    /// [`TaskTimeDistribution::validate`] anyway).
     pub fn mean(&self) -> f64 {
         match *self {
             TaskTimeDistribution::Deterministic { value } => value,
             TaskTimeDistribution::Uniform { lo, hi } => 0.5 * (lo + hi),
             TaskTimeDistribution::Exponential { mean } => mean,
             TaskTimeDistribution::ShiftedExponential { shift, mean } => shift + mean,
-            TaskTimeDistribution::Pareto { scale, shape } => scale * shape / (shape - 1.0),
+            TaskTimeDistribution::Pareto { scale, shape } => {
+                if shape > 1.0 {
+                    scale * shape / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
         }
     }
 
@@ -102,8 +112,11 @@ impl TaskTimeDistribution {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0`.
+    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0` and
+    /// [`ModelError::InvalidFactor`] for out-of-range parameters (e.g. a
+    /// Pareto tail with `shape <= 1`, whose expectation diverges).
     pub fn expected_max(&self, n: u32) -> Result<f64, ModelError> {
+        self.validate()?;
         if n == 0 {
             return Err(ModelError::InvalidScaleOut(0.0));
         }
@@ -119,6 +132,44 @@ impl TaskTimeDistribution {
         })
     }
 
+    /// Maximum of `n` i.i.d. draws using the provided RNG.
+    pub fn sample_max<R: Rng + ?Sized>(&self, n: u32, rng: &mut R) -> f64 {
+        (0..n)
+            .map(|_| self.sample(rng))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Monte-Carlo estimate of `E[max_{i≤n} X_i]` over `replications`
+    /// independent maxima.
+    ///
+    /// Replication `r` draws from its own RNG seeded with
+    /// [`ipso_sim::stream_seed`]`(seed, r)`, so the estimate depends only
+    /// on `(n, replications, seed)` — never on evaluation order — and
+    /// replications can safely be distributed across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScaleOut`] for `n = 0` or zero
+    /// replications and propagates validation errors.
+    pub fn monte_carlo_expected_max(
+        &self,
+        n: u32,
+        replications: u32,
+        seed: u64,
+    ) -> Result<f64, ModelError> {
+        self.validate()?;
+        if n == 0 || replications == 0 {
+            return Err(ModelError::InvalidScaleOut(0.0));
+        }
+        let total: f64 = (0..replications)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(ipso_sim::stream_seed(seed, u64::from(r)));
+                self.sample_max(n, &mut rng)
+            })
+            .sum();
+        Ok(total / f64::from(replications))
+    }
+
     /// Validates distribution parameters.
     ///
     /// # Errors
@@ -128,7 +179,7 @@ impl TaskTimeDistribution {
         let ok = match *self {
             TaskTimeDistribution::Deterministic { value } => value.is_finite() && value > 0.0,
             TaskTimeDistribution::Uniform { lo, hi } => {
-                lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi
+                lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi && hi > 0.0
             }
             TaskTimeDistribution::Exponential { mean } => mean.is_finite() && mean > 0.0,
             TaskTimeDistribution::ShiftedExponential { shift, mean } => {
@@ -496,6 +547,82 @@ mod tests {
     }
 
     #[test]
+    fn unvalidated_heavy_pareto_is_safe() {
+        // A Pareto tail with shape <= 1 has no finite mean. The naive
+        // closed form used to return a *negative* mean here, which
+        // silently corrupted every downstream speedup.
+        let p = TaskTimeDistribution::Pareto {
+            scale: 6.0,
+            shape: 0.8,
+        };
+        assert_eq!(p.mean(), f64::INFINITY);
+        assert!(p.expected_max(4).is_err());
+        assert!(p.monte_carlo_expected_max(4, 8, 1).is_err());
+        assert!(StochasticIpso::new(
+            p,
+            1.0,
+            ScalingFactor::linear(),
+            ScalingFactor::one(),
+            ScalingFactor::zero(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn curve_peak_selection_is_nan_safe() {
+        // Regression: peak selection used partial_cmp().unwrap(), which
+        // panics the moment a NaN reaches the comparison. total_cmp is a
+        // total order, so a poisoned curve degrades instead of aborting.
+        let curve = [(1u32, 1.0), (2, f64::NAN), (3, 2.0)];
+        let peak = curve
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        // In IEEE total order positive NaN sorts above +inf.
+        assert_eq!(peak.0, 2);
+    }
+
+    #[test]
+    fn monte_carlo_expected_max_agrees_with_analytic() {
+        // The seeded Monte-Carlo estimator must land within 3 standard
+        // errors of the closed forms — exponential (mean·H_n) and Pareto
+        // (scale·n·B(n, 1−1/shape)); shape = 2.5 keeps Var[max] finite.
+        let n = 16u32;
+        let reps = 4000u32;
+        let seed = 7u64;
+        for dist in [
+            TaskTimeDistribution::Exponential { mean: 10.0 },
+            TaskTimeDistribution::Pareto {
+                scale: 6.0,
+                shape: 2.5,
+            },
+        ] {
+            let analytic = dist.expected_max(n).unwrap();
+            let mc = dist.monte_carlo_expected_max(n, reps, seed).unwrap();
+            // Rebuild the per-replication maxima to estimate the
+            // standard error of the estimator itself.
+            let samples: Vec<f64> = (0..reps)
+                .map(|r| {
+                    let mut rng = StdRng::seed_from_u64(ipso_sim::stream_seed(seed, u64::from(r)));
+                    dist.sample_max(n, &mut rng)
+                })
+                .collect();
+            let mean = samples.iter().sum::<f64>() / f64::from(reps);
+            assert!((mean - mc).abs() < 1e-9, "estimator must match its samples");
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f64::from(reps - 1);
+            let se = (var / f64::from(reps)).sqrt();
+            assert!(
+                (mc - analytic).abs() < 3.0 * se,
+                "{dist:?}: MC {mc} vs analytic {analytic} (3se = {})",
+                3.0 * se
+            );
+            // And the estimate is a pure function of (n, reps, seed).
+            assert_eq!(dist.monte_carlo_expected_max(n, reps, seed).unwrap(), mc);
+        }
+    }
+
+    #[test]
     fn induced_overhead_creates_peak_in_stochastic_model() {
         let m = StochasticIpso::new(
             TaskTimeDistribution::Deterministic { value: 10.0 },
@@ -509,7 +636,7 @@ mod tests {
         let peak = curve
             .iter()
             .cloned()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert!(peak.0 > 1 && peak.0 < 150, "peak at {:?}", peak);
         assert!(curve.last().unwrap().1 < peak.1);

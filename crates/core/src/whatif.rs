@@ -188,7 +188,7 @@ pub fn rank_scenarios(
             model: improved_model,
         });
     }
-    out.sort_by(|a, b| b.gain().partial_cmp(&a.gain()).expect("finite gains"));
+    out.sort_by(|a, b| b.gain().total_cmp(&a.gain()));
     Ok(out)
 }
 

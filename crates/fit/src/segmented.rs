@@ -64,7 +64,7 @@ pub fn fit_two_segment(
 
     // Sort points by x so the split index is meaningful.
     let mut order: Vec<usize> = (0..x.len()).collect();
-    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("validated finite"));
+    order.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
     let xs: Vec<f64> = order.iter().map(|&i| x[i]).collect();
     let ys: Vec<f64> = order.iter().map(|&i| y[i]).collect();
 

@@ -199,7 +199,10 @@ pub fn select_model(x: &[f64], y: &[f64]) -> Result<Vec<Candidate>, FitError> {
     if out.is_empty() {
         return Err(FitError::NoConvergence { iterations: 0 });
     }
-    out.sort_by(|a, b| a.aicc.partial_cmp(&b.aicc).expect("finite AICc ordering"));
+    // AICc can go NaN when a candidate's ss_res underflows to a
+    // degenerate value; total_cmp ranks such candidates last-or-first
+    // deterministically instead of panicking mid-selection.
+    out.sort_by(|a, b| a.aicc.total_cmp(&b.aicc));
     Ok(out)
 }
 

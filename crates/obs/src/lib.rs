@@ -68,9 +68,182 @@ pub fn reset() {
     metrics::reset_metrics();
 }
 
+/// Spans and metric updates recorded inside one [`capture`] scope,
+/// waiting to be [`merge`]d into the global recorder.
+///
+/// The records preserve recording order, so merging a set of captures in
+/// a deterministic order (e.g. sweep-point index order) reproduces the
+/// exact global state a sequential run would have produced — the
+/// mechanism behind the parallel sweep runner's determinism guarantee.
+#[derive(Debug, Default)]
+#[must_use = "captured records are lost unless merged"]
+pub struct LocalRecords {
+    events: Vec<span::TraceEvent>,
+    ops: Vec<metrics::MetricOp>,
+}
+
+impl LocalRecords {
+    /// Number of captured span events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.ops.is_empty()
+    }
+}
+
+/// Runs `f` with all instrumentation on this thread redirected into a
+/// private buffer — no global lock on the recording path — and returns
+/// `f`'s result together with the captured records.
+///
+/// Captures nest: an inner capture takes over recording and the outer
+/// buffer resumes when it finishes. Spans must complete inside the scope
+/// that opened them; a guard dropped after the scope records into
+/// whatever recorder is active at drop time.
+///
+/// # Example
+///
+/// ```
+/// ipso_obs::set_enabled(true);
+/// ipso_obs::reset();
+/// let (value, records) = ipso_obs::capture(|| {
+///     ipso_obs::record_span("executor-0", "map", "mr", 0.0, 1.0);
+///     42
+/// });
+/// assert_eq!(value, 42);
+/// assert_eq!(records.event_count(), 1);
+/// assert!(ipso_obs::snapshot_events().is_empty()); // not yet merged
+/// ipso_obs::merge(records);
+/// assert_eq!(ipso_obs::snapshot_events().len(), 1);
+/// ipso_obs::set_enabled(false);
+/// ```
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, LocalRecords) {
+    struct Guard {
+        prev_events: Option<Vec<span::TraceEvent>>,
+        prev_ops: Option<Vec<metrics::MetricOp>>,
+        armed: bool,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            // On panic inside `f`, still restore the previous recorder so
+            // the thread is left in a consistent state.
+            if self.armed {
+                let _ = span::take_local_events(self.prev_events.take());
+                let _ = metrics::take_local_ops(self.prev_ops.take());
+            }
+        }
+    }
+    let mut guard = Guard {
+        prev_events: span::install_local_events(),
+        prev_ops: metrics::install_local_ops(),
+        armed: true,
+    };
+    let result = f();
+    guard.armed = false;
+    let records = LocalRecords {
+        events: span::take_local_events(guard.prev_events.take()),
+        ops: metrics::take_local_ops(guard.prev_ops.take()),
+    };
+    (result, records)
+}
+
+/// Flushes captured records into the global recorder: events are
+/// appended in capture order, metric updates are replayed in capture
+/// order. When called on a thread that is itself inside a [`capture`]
+/// scope, the records flow into that scope's buffer instead, so nested
+/// parallel sections compose.
+pub fn merge(records: LocalRecords) {
+    span::append_events(records.events);
+    for op in records.ops {
+        metrics::apply_op(op);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capture_redirects_and_merge_replays_in_order() {
+        let _guard = span::test_lock();
+        set_enabled(true);
+        reset();
+        record_span("t", "outside-before", "c", 0.0, 1.0);
+        let ((), records) = capture(|| {
+            record_span("t", "inside", "c", 1.0, 2.0);
+            counter_add("tasks", 2);
+            gauge_set("depth", 3.0);
+            gauge_set("depth", 7.0); // order-sensitive: last write wins
+        });
+        // Nothing visible globally until merged.
+        assert_eq!(snapshot_events().len(), 1);
+        assert_eq!(counter_value("tasks"), 0);
+        merge(records);
+        let events = take_events();
+        set_enabled(false);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].name, "inside");
+        assert_eq!(counter_value("tasks"), 2);
+        assert_eq!(gauge_value("depth"), 7.0);
+        reset();
+    }
+
+    #[test]
+    fn nested_captures_compose() {
+        let _guard = span::test_lock();
+        set_enabled(true);
+        reset();
+        let ((), outer) = capture(|| {
+            record_span("t", "outer", "c", 0.0, 1.0);
+            let ((), inner) = capture(|| {
+                record_span("t", "inner", "c", 1.0, 2.0);
+            });
+            // Merging inside an active capture lands in that capture.
+            merge(inner);
+        });
+        assert_eq!(outer.event_count(), 2);
+        merge(outer);
+        let events = take_events();
+        set_enabled(false);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[1].name, "inner");
+        reset();
+    }
+
+    #[test]
+    fn cross_thread_captures_merge_deterministically() {
+        let _guard = span::test_lock();
+        set_enabled(true);
+        reset();
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            handles.push(std::thread::spawn(move || {
+                capture(|| {
+                    record_span(
+                        "t",
+                        &format!("point-{i}"),
+                        "c",
+                        f64::from(i),
+                        f64::from(i) + 1.0,
+                    );
+                    counter_add("points", 1);
+                })
+                .1
+            }));
+        }
+        // Merge in point order regardless of completion order.
+        for h in handles {
+            merge(h.join().expect("worker"));
+        }
+        let events = take_events();
+        set_enabled(false);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["point-0", "point-1", "point-2", "point-3"]);
+        assert_eq!(counter_value("points"), 4);
+        reset();
+    }
 
     #[test]
     fn disabled_by_default_and_toggleable() {

@@ -13,6 +13,7 @@
 //! on name lookup. Every entry point is gated on [`crate::enabled`]:
 //! disabled cost is one relaxed atomic load.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,12 +65,81 @@ fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
     f(&mut REGISTRY.lock().expect("metrics registry poisoned"))
 }
 
+/// One recorded metric update, replayable against the global registry.
+///
+/// Inside a [`crate::capture`] scope updates are buffered as ops on the
+/// capturing thread and applied later, in a caller-chosen order — which
+/// is how the parallel sweep runner keeps even order-sensitive updates
+/// ([`gauge_set`], float accumulation in [`gauge_add`]) deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MetricOp {
+    CounterAdd(String, u64),
+    GaugeSet(String, f64),
+    GaugeAdd(String, f64),
+    HistogramRecord(String, u64),
+}
+
+thread_local! {
+    static LOCAL_OPS: RefCell<Option<Vec<MetricOp>>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh thread-local op buffer, returning the previous one.
+pub(crate) fn install_local_ops() -> Option<Vec<MetricOp>> {
+    LOCAL_OPS.with(|l| l.borrow_mut().replace(Vec::new()))
+}
+
+/// Removes the thread-local op buffer, restoring `previous`, and returns
+/// the captured ops.
+pub(crate) fn take_local_ops(previous: Option<Vec<MetricOp>>) -> Vec<MetricOp> {
+    LOCAL_OPS.with(|l| {
+        let mut slot = l.borrow_mut();
+        let captured = slot.take().expect("no local metric buffer installed");
+        *slot = previous;
+        captured
+    })
+}
+
+/// Buffers `op` locally when a capture scope is active; returns it back
+/// for direct application otherwise.
+fn buffer_locally(op: MetricOp) -> Option<MetricOp> {
+    LOCAL_OPS.with(|l| match l.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.push(op);
+            None
+        }
+        None => Some(op),
+    })
+}
+
+/// Replays one captured op: into the local capture buffer when one is
+/// installed on this thread (nested parallel sections compose), else
+/// against the global registry.
+pub(crate) fn apply_op(op: MetricOp) {
+    let Some(op) = buffer_locally(op) else { return };
+    match op {
+        MetricOp::CounterAdd(name, delta) => counter_add_global(&name, delta),
+        MetricOp::GaugeSet(name, value) => {
+            gauge_cell(&name).store(value.to_bits(), Ordering::Relaxed);
+        }
+        MetricOp::GaugeAdd(name, delta) => gauge_add_global(&name, delta),
+        MetricOp::HistogramRecord(name, value) => histogram_record_global(&name, value),
+    }
+}
+
 /// Adds `delta` to the named counter (registering it on first use).
 /// No-op unless tracing is enabled.
 pub fn counter_add(name: &str, delta: u64) {
     if !crate::enabled() {
         return;
     }
+    if let Some(MetricOp::CounterAdd(name, delta)) =
+        buffer_locally(MetricOp::CounterAdd(name.to_string(), delta))
+    {
+        counter_add_global(&name, delta);
+    }
+}
+
+fn counter_add_global(name: &str, delta: u64) {
     let cell = with_registry(|r| {
         Arc::clone(
             r.counters
@@ -104,7 +174,11 @@ pub fn gauge_set(name: &str, value: f64) {
     if !crate::enabled() {
         return;
     }
-    gauge_cell(name).store(value.to_bits(), Ordering::Relaxed);
+    if let Some(MetricOp::GaugeSet(name, value)) =
+        buffer_locally(MetricOp::GaugeSet(name.to_string(), value))
+    {
+        gauge_cell(&name).store(value.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// Adds `delta` to the named gauge (an accumulating gauge, used for the
@@ -113,6 +187,14 @@ pub fn gauge_add(name: &str, delta: f64) {
     if !crate::enabled() {
         return;
     }
+    if let Some(MetricOp::GaugeAdd(name, delta)) =
+        buffer_locally(MetricOp::GaugeAdd(name.to_string(), delta))
+    {
+        gauge_add_global(&name, delta);
+    }
+}
+
+fn gauge_add_global(name: &str, delta: f64) {
     let cell = gauge_cell(name);
     let mut current = cell.load(Ordering::Relaxed);
     loop {
@@ -139,6 +221,14 @@ pub fn histogram_record(name: &str, value: u64) {
     if !crate::enabled() {
         return;
     }
+    if let Some(MetricOp::HistogramRecord(name, value)) =
+        buffer_locally(MetricOp::HistogramRecord(name.to_string(), value))
+    {
+        histogram_record_global(&name, value);
+    }
+}
+
+fn histogram_record_global(name: &str, value: u64) {
     let hist = with_registry(|r| {
         Arc::clone(
             r.histograms

@@ -9,6 +9,7 @@
 //! All recording is gated on [`crate::enabled`]: when tracing is off a
 //! call is a single relaxed atomic load and an immediate return.
 
+use std::cell::RefCell;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -70,7 +71,59 @@ impl TraceEvent {
 
 static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 
+thread_local! {
+    /// When a [`crate::capture`] scope is active on this thread, events
+    /// go here instead of the global buffer — no lock on the hot path.
+    static LOCAL_EVENTS: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh thread-local event buffer, returning the previous
+/// one (captures nest).
+pub(crate) fn install_local_events() -> Option<Vec<TraceEvent>> {
+    LOCAL_EVENTS.with(|l| l.borrow_mut().replace(Vec::new()))
+}
+
+/// Removes the thread-local event buffer, restoring `previous`, and
+/// returns the captured events.
+pub(crate) fn take_local_events(previous: Option<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    LOCAL_EVENTS.with(|l| {
+        let mut slot = l.borrow_mut();
+        let captured = slot.take().expect("no local event buffer installed");
+        *slot = previous;
+        captured
+    })
+}
+
+/// Appends already-recorded events to the active recorder — the local
+/// capture buffer when one is installed on this thread, else the global
+/// buffer (one lock per batch). How capture buffers are flushed.
+pub(crate) fn append_events(events: Vec<TraceEvent>) {
+    if events.is_empty() {
+        return;
+    }
+    let leftover = LOCAL_EVENTS.with(|l| match l.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.extend(events);
+            None
+        }
+        None => Some(events),
+    });
+    if let Some(events) = leftover {
+        EVENTS.lock().expect("span buffer poisoned").extend(events);
+    }
+}
+
 fn push(event: TraceEvent) {
+    let event = match LOCAL_EVENTS.with(|l| match l.borrow_mut().as_mut() {
+        Some(buf) => {
+            buf.push(event);
+            None
+        }
+        None => Some(event),
+    }) {
+        Some(event) => event,
+        None => return,
+    };
     EVENTS.lock().expect("span buffer poisoned").push(event);
 }
 

@@ -41,7 +41,7 @@ pub mod time;
 pub use engine::Simulation;
 pub use event::EventQueue;
 pub use resource::{FifoServer, ServerPool};
-pub use rng::SimRng;
+pub use rng::{stream_seed, SimRng};
 pub use special::{ln_beta, ln_gamma, pareto_expected_max};
 pub use stats::{percentile, OnlineStats};
 pub use time::SimTime;

@@ -7,6 +7,38 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// Derives a stable per-stream seed from a base seed and a stream index.
+///
+/// This is the seeding contract of the deterministic parallel runners:
+/// grid point (or Monte-Carlo replication) `index` of a sweep with base
+/// seed `base` always draws from `StdRng::seed_from_u64(stream_seed(base,
+/// index))`, so the randomness a point consumes depends only on `(base,
+/// index)` — never on execution order, thread count or the draws of
+/// other points.
+///
+/// The mix is two rounds of the SplitMix64 finalizer over the xored
+/// inputs, which decorrelates even adjacent `(base, index)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use ipso_sim::stream_seed;
+///
+/// assert_eq!(stream_seed(42, 7), stream_seed(42, 7));
+/// assert_ne!(stream_seed(42, 7), stream_seed(42, 8));
+/// assert_ne!(stream_seed(42, 7), stream_seed(43, 7));
+/// ```
+pub fn stream_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
 /// A seeded random-number generator with the distribution helpers the
 /// cluster models need.
 ///
@@ -118,6 +150,27 @@ impl SimRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_seeds_are_stable_and_spread() {
+        // Stability: a pure function of (base, index).
+        assert_eq!(stream_seed(1, 2), stream_seed(1, 2));
+        // Spread: all pairwise-distinct over a dense grid, and adjacent
+        // indices land far apart in the output space.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..32u64 {
+            for index in 0..32u64 {
+                assert!(seen.insert(stream_seed(base, index)));
+            }
+        }
+        // The derived RNG streams must be decorrelated too.
+        let mut a = SimRng::seed_from(stream_seed(7, 0));
+        let mut b = SimRng::seed_from(stream_seed(7, 1));
+        let same = (0..64)
+            .filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0))
+            .count();
+        assert!(same < 4);
+    }
 
     #[test]
     fn same_seed_same_stream() {

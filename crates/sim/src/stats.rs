@@ -127,14 +127,16 @@ impl OnlineStats {
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 100]` or samples are non-finite.
+/// Panics if `p` is outside `[0, 100]`. Samples are ranked in IEEE
+/// total order, so non-finite values sort deterministically instead of
+/// panicking.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if samples.is_empty() {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples required"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -133,7 +133,7 @@ mod tests {
         let pts = sweep_fixed_size(ml_job, 32, &[1, 2, 4, 8, 16, 32, 64, 128]);
         let peak = pts
             .iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
             .unwrap();
         let last = pts.last().unwrap();
         assert!(peak.m < 128, "peak at m = {}", peak.m);

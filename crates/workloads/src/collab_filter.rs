@@ -222,7 +222,7 @@ mod tests {
         let pts = sweep_fixed_size(job, CF_TASKS, &[10, 20, 30, 45, 60, 90, 120, 180]);
         let peak = pts
             .iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
             .unwrap();
         assert!(
             (30..=90).contains(&peak.m),

@@ -28,10 +28,7 @@ pub fn hash_join(facts: &[FactRow], dims: &[DimRow]) -> Vec<JoinedRow> {
         .iter()
         .filter_map(|&(k, v)| lookup.get(&k).map(|&a| (k, v, a)))
         .collect();
-    out.sort_by(|a, b| {
-        a.0.cmp(&b.0)
-            .then(a.1.partial_cmp(&b.1).expect("finite measures"))
-    });
+    out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     out
 }
 
@@ -97,7 +94,7 @@ mod tests {
                     .map(move |&(_, a)| (k, v, a))
             })
             .collect();
-        expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite")));
+        expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         assert_eq!(joined, expected);
     }
 

@@ -169,7 +169,7 @@ mod tests {
         let pts = sweep_fixed_size(job, 64, &[2, 8, 32, 64, 128, 256]);
         let peak = pts
             .iter()
-            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
             .unwrap();
         let last = pts.last().unwrap();
         assert!(peak.m < 256, "peak at the edge");
