@@ -1,12 +1,289 @@
-//! Criterion benchmarks of the full engines: one MapReduce job
-//! (map + shuffle + merge + reduce with real record processing) and one
-//! Spark job (stage DAG with broadcast and shuffles), plus an end-to-end
-//! scaling sweep.
+//! Criterion benchmarks of the full engines plus a regression harness.
+//!
+//! Two layers share this binary (`harness = false`):
+//!
+//! 1. Criterion-style benches of one MapReduce job (map + shuffle +
+//!    merge + reduce with real record processing), one Spark job (stage
+//!    DAG with broadcast and shuffles) and an end-to-end scaling sweep.
+//! 2. A regression harness that times the engines under pinned
+//!    configurations — the reference `BTreeGrouping` shuffle on one
+//!    thread against the sort-based shuffle, sequential and with the
+//!    full host — and writes the wall-clock numbers and speedup ratios
+//!    to `BENCH_engines.json` at the repository root so CI can assert
+//!    the optimised data path never regresses.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use ipso_bench::SweepRunner;
+use ipso_mapreduce::{Mapper, OutputScaling, Reducer, ShuffleImpl};
 use ipso_spark::run_job;
 use ipso_workloads::{bayes, sort, wordcount};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// The seed's WordCount mapper, kept verbatim as the regression
+/// baseline: every token allocates a fresh `String` key (no interning).
+/// Paired with `ShuffleImpl::BTreeGrouping` this is exactly the
+/// pre-optimization data path.
+struct SeedWordCountMapper;
+
+impl Mapper for SeedWordCountMapper {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+
+    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+        for word in line.split_whitespace() {
+            emit(word.to_string(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &String, values: &mut Vec<u64>) {
+        let sum = values.iter().sum();
+        values.clear();
+        values.push(sum);
+    }
+
+    fn output_scaling(&self) -> OutputScaling {
+        OutputScaling::Saturating
+    }
+}
+
+struct SeedWordCountReducer;
+
+impl Reducer for SeedWordCountReducer {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+
+    fn reduce(&self, key: &String, values: &[u64], emit: &mut dyn FnMut((String, u64))) {
+        emit((key.clone(), values.iter().sum()));
+    }
+}
+
+/// Where the regression record lands: the workspace root, NOT
+/// `results/` (CI checks `git diff --exit-code results/`, and bench
+/// timings are host-dependent by nature).
+const REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engines.json");
+
+/// The number of map tasks the regression harness pins for the
+/// MapReduce workloads (the acceptance point for the speedup targets).
+const MAP_TASKS: u32 = 8;
+
+#[derive(Debug, Serialize)]
+struct BenchRecord {
+    name: String,
+    engine: &'static str,
+    workload: &'static str,
+    config: &'static str,
+    threads: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupRecord {
+    engine: &'static str,
+    workload: &'static str,
+    baseline: &'static str,
+    optimized: &'static str,
+    ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    map_tasks: u32,
+    host_threads: usize,
+    benches: Vec<BenchRecord>,
+    speedups: Vec<SpeedupRecord>,
+}
+
+/// Times `f` with the same calibration loop as the criterion stand-in
+/// (grow the batch until measurable, bounded total budget) and returns
+/// the mean nanoseconds per iteration.
+fn measure<T, F: FnMut() -> T>(mut f: F) -> (f64, u64) {
+    let budget = Duration::from_millis(600);
+    let mut total = Duration::ZERO;
+    let mut iters: u64 = 0;
+    let mut batch: u64 = 1;
+    let start = Instant::now();
+    loop {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let batch_time = batch_start.elapsed();
+        total += batch_time;
+        iters += batch;
+        if start.elapsed() >= budget {
+            break;
+        }
+        if batch_time < Duration::from_millis(10) && batch < 1 << 20 {
+            batch *= 2;
+        }
+    }
+    (total.as_secs_f64() * 1e9 / iters as f64, iters)
+}
+
+/// The regression grid: (config label, shuffle implementation, threads).
+/// `threads = 0` means every hardware thread.
+const CONFIGS: [(&str, ShuffleImpl, usize); 3] = [
+    ("btree_seq", ShuffleImpl::BTreeGrouping, 1),
+    ("sortmerge_seq", ShuffleImpl::SortMerge, 1),
+    ("sortmerge_par", ShuffleImpl::SortMerge, 0),
+];
+
+fn bench_regression_grid(records: &mut Vec<BenchRecord>) {
+    // MapReduce: sort and wordcount at MAP_TASKS map tasks, running the
+    // real record path through each shuffle/thread configuration.
+    for (config, shuffle, threads) in CONFIGS {
+        let mut spec = sort::job_spec(MAP_TASKS);
+        spec.shuffle = shuffle;
+        spec.engine.threads = threads;
+        let splits = sort::make_splits(MAP_TASKS, 1);
+        let (mean_ns, iters) = measure(|| {
+            ipso_mapreduce::run_scale_out(&spec, &sort::SortMapper, &sort::SortReducer, &splits)
+        });
+        report_line("mapreduce", "sort", config, mean_ns, iters);
+        records.push(BenchRecord {
+            name: format!("mapreduce_sort_n{MAP_TASKS}_{config}"),
+            engine: "mapreduce",
+            workload: "sort",
+            config,
+            threads,
+            mean_ns,
+            iters,
+        });
+
+        let mut wc_spec = wordcount::job_spec(MAP_TASKS);
+        wc_spec.shuffle = shuffle;
+        wc_spec.engine.threads = threads;
+        let wc_splits = wordcount::make_splits(MAP_TASKS, 1);
+        // The baseline configuration pairs the reference shuffle with the
+        // seed's allocating mapper — the true pre-optimization path; the
+        // optimized configurations use the shipping interned mapper.
+        let mapper = wordcount::WordCountMapper::new();
+        let (mean_ns, iters) = if shuffle == ShuffleImpl::BTreeGrouping {
+            measure(|| {
+                ipso_mapreduce::run_scale_out(
+                    &wc_spec,
+                    &SeedWordCountMapper,
+                    &SeedWordCountReducer,
+                    &wc_splits,
+                )
+            })
+        } else {
+            measure(|| {
+                ipso_mapreduce::run_scale_out(
+                    &wc_spec,
+                    &mapper,
+                    &wordcount::WordCountReducer,
+                    &wc_splits,
+                )
+            })
+        };
+        report_line("mapreduce", "wordcount", config, mean_ns, iters);
+        records.push(BenchRecord {
+            name: format!("mapreduce_wordcount_n{MAP_TASKS}_{config}"),
+            engine: "mapreduce",
+            workload: "wordcount",
+            config,
+            threads,
+            mean_ns,
+            iters,
+        });
+    }
+
+    // Spark: the Bayes stage DAG with the host-side stage executor
+    // sequential and parallel (the shuffle grid does not apply).
+    for (config, threads) in [("seq", 1usize), ("par", 0)] {
+        let mut job = bayes::job(256, 64);
+        job.engine.threads = threads;
+        let (mean_ns, iters) = measure(|| run_job(&job));
+        report_line("spark", "bayes", config, mean_ns, iters);
+        records.push(BenchRecord {
+            name: format!("spark_bayes_n256_m64_{config}"),
+            engine: "spark",
+            workload: "bayes",
+            config,
+            threads,
+            mean_ns,
+            iters,
+        });
+    }
+}
+
+fn report_line(engine: &str, workload: &str, config: &str, mean_ns: f64, iters: u64) {
+    let name = format!("{engine}_{workload}_{config}");
+    println!("bench {name:<40} {mean_ns:>12.1} ns/iter ({iters} iters)");
+}
+
+/// Derives the speedup ratios the harness exists to defend: reference
+/// shuffle on one thread vs. the optimised path, per workload.
+fn speedups(records: &[BenchRecord]) -> Vec<SpeedupRecord> {
+    let mean = |workload: &str, config: &str| {
+        records
+            .iter()
+            .find(|r| r.workload == workload && r.config == config)
+            .map(|r| r.mean_ns)
+    };
+    let mut out = Vec::new();
+    for workload in ["sort", "wordcount"] {
+        for optimized in ["sortmerge_seq", "sortmerge_par"] {
+            if let (Some(base), Some(opt)) =
+                (mean(workload, "btree_seq"), mean(workload, optimized))
+            {
+                out.push(SpeedupRecord {
+                    engine: "mapreduce",
+                    workload,
+                    baseline: "btree_seq",
+                    optimized,
+                    ratio: base / opt,
+                });
+            }
+        }
+    }
+    if let (Some(base), Some(opt)) = (
+        records
+            .iter()
+            .find(|r| r.workload == "bayes" && r.config == "seq")
+            .map(|r| r.mean_ns),
+        records
+            .iter()
+            .find(|r| r.workload == "bayes" && r.config == "par")
+            .map(|r| r.mean_ns),
+    ) {
+        out.push(SpeedupRecord {
+            engine: "spark",
+            workload: "bayes",
+            baseline: "seq",
+            optimized: "par",
+            ratio: base / opt,
+        });
+    }
+    out
+}
+
+fn run_regression_harness() {
+    let mut records = Vec::new();
+    bench_regression_grid(&mut records);
+    let report = BenchReport {
+        schema: "ipso-bench-engines/v1",
+        map_tasks: MAP_TASKS,
+        host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        speedups: speedups(&records),
+        benches: records,
+    };
+    for s in &report.speedups {
+        println!(
+            "speedup {}/{}: {} -> {}: {:.2}x",
+            s.engine, s.workload, s.baseline, s.optimized, s.ratio
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(REPORT_PATH, json + "\n").expect("write BENCH_engines.json");
+    println!("wrote {REPORT_PATH}");
+}
 
 fn bench_mapreduce_jobs(c: &mut Criterion) {
     let splits = sort::make_splits(16, 1);
@@ -24,11 +301,12 @@ fn bench_mapreduce_jobs(c: &mut Criterion) {
 
     let wc_splits = wordcount::make_splits(8, 1);
     let wc_spec = wordcount::job_spec(8);
+    let mapper = wordcount::WordCountMapper::new();
     c.bench_function("mapreduce_wordcount_n8", |b| {
         b.iter(|| {
             ipso_mapreduce::run_scale_out(
                 black_box(&wc_spec),
-                &wordcount::WordCountMapper,
+                &mapper,
                 &wordcount::WordCountReducer,
                 black_box(&wc_splits),
             )
@@ -77,4 +355,10 @@ criterion_group!(
     bench_spark_job,
     bench_full_sweep
 );
-criterion_main!(benches);
+
+fn main() {
+    // `cargo test --benches` invokes bench binaries with libtest-style
+    // flags; accept and ignore them.
+    benches();
+    run_regression_harness();
+}

@@ -8,9 +8,38 @@
 //! [`ipso_sim::ServerPool`] to produce the full task timeline.
 
 use ipso_sim::{ServerPool, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::TaskRecord;
 use crate::scheduler::CentralScheduler;
+
+/// Host-side execution knobs shared by the MapReduce and Spark engines.
+///
+/// These control how the engines use the *host* machine to execute real
+/// user code and compute schedules; they never affect simulated time,
+/// traces, or outputs — the engines guarantee byte-identical results for
+/// every `threads` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// Host threads used for map-task waves (MapReduce) and stage
+    /// scheduling (Spark): `1` runs sequentially (the default), `0` uses
+    /// one worker per available hardware thread.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions { threads: 1 }
+    }
+}
+
+impl EngineOptions {
+    /// Options running on `threads` host threads (`0` = all hardware
+    /// threads).
+    pub fn with_threads(threads: usize) -> Self {
+        EngineOptions { threads }
+    }
+}
 
 /// The schedule produced by [`run_wave_schedule`].
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +121,38 @@ pub fn run_wave_schedule(
         dispatch_total: dispatch_clock,
         records,
     }
+}
+
+/// Makespan of `tasks` identical-duration tasks over `executors` slots —
+/// the allocation-free fast path for idealized reference schedules.
+///
+/// Equivalent to `run_wave_schedule(&vec![duration; tasks], …).makespan`
+/// but without materializing the duration vector, the per-task records,
+/// or the scheduler-level instrumentation: reference schedules are
+/// hypothetical runs, so they skip the `cluster.*` counters and
+/// queue-delay histograms a real schedule emits.
+///
+/// # Panics
+///
+/// Panics if `executors` is zero or `duration` is negative/non-finite.
+pub fn uniform_wave_makespan(
+    duration: f64,
+    tasks: usize,
+    executors: usize,
+    scheduler: &CentralScheduler,
+) -> f64 {
+    assert!(executors > 0, "need at least one executor");
+    assert!(
+        duration.is_finite() && duration >= 0.0,
+        "task durations must be finite and >= 0"
+    );
+    let mut pool = ServerPool::new(executors);
+    let mut dispatch_clock = 0.0;
+    for i in 0..tasks {
+        dispatch_clock += scheduler.dispatch_time(i as u32);
+        pool.submit(SimTime::from_secs(dispatch_clock), duration);
+    }
+    pool.makespan().as_secs()
 }
 
 /// Peak number of tasks simultaneously dispatched but not yet started —
@@ -190,5 +251,49 @@ mod tests {
         let s = run_wave_schedule(&[], 4, &CentralScheduler::idealized());
         assert_eq!(s.makespan, 0.0);
         assert!(s.records.is_empty());
+    }
+
+    #[test]
+    fn uniform_makespan_matches_full_schedule() {
+        for (d, tasks, execs) in [(1.0, 6, 2), (0.5, 16, 5), (3.0, 1, 4), (0.0, 8, 3)] {
+            for scheduler in [
+                CentralScheduler::idealized(),
+                CentralScheduler {
+                    base_dispatch: 0.2,
+                    contention: 0.01,
+                    job_setup: 0.0,
+                },
+            ] {
+                let full = run_wave_schedule(&vec![d; tasks], execs, &scheduler);
+                let fast = uniform_wave_makespan(d, tasks, execs, &scheduler);
+                assert_eq!(
+                    full.makespan, fast,
+                    "d = {d}, tasks = {tasks}, execs = {execs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_makespan_of_empty_set_is_zero() {
+        assert_eq!(
+            uniform_wave_makespan(1.0, 0, 2, &CentralScheduler::idealized()),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor")]
+    fn uniform_makespan_rejects_zero_executors() {
+        uniform_wave_makespan(1.0, 4, 0, &CentralScheduler::idealized());
+    }
+
+    #[test]
+    fn engine_options_default_to_sequential() {
+        assert_eq!(EngineOptions::default().threads, 1);
+        assert_eq!(EngineOptions::with_threads(8).threads, 8);
+        let json = serde_json::to_string(&EngineOptions::default()).unwrap();
+        let back: EngineOptions = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EngineOptions::default());
     }
 }

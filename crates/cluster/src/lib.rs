@@ -31,7 +31,7 @@ pub mod scheduler;
 pub mod spec;
 pub mod straggler;
 
-pub use exec::{run_wave_schedule, TaskSchedule};
+pub use exec::{run_wave_schedule, uniform_wave_makespan, EngineOptions, TaskSchedule};
 pub use memory::MemoryModel;
 pub use metrics::{JobTrace, PhaseTimes, RunConfig, TaskRecord};
 pub use network::NetworkModel;

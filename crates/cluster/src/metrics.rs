@@ -114,6 +114,53 @@ impl JobTrace {
         }
         Some(self.tasks.iter().map(TaskRecord::duration).sum::<f64>() / self.tasks.len() as f64)
     }
+
+    /// Checks the structural invariants every engine-produced trace must
+    /// satisfy — the contract the parallel execution paths are tested
+    /// against:
+    ///
+    /// * all phase times and the scale-out overhead are finite and ≥ 0;
+    /// * task records are in task-id order with finite `0 ≤ start ≤ end`;
+    /// * when task records exist, the map phase equals the slowest task.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let phases = [
+            ("init", self.phases.init),
+            ("map", self.phases.map),
+            ("shuffle", self.phases.shuffle),
+            ("merge", self.phases.merge),
+            ("reduce", self.phases.reduce),
+            ("scale_out_overhead", self.scale_out_overhead),
+        ];
+        for (name, value) in phases {
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("{name} time must be finite and >= 0, got {value}"));
+            }
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.task_id != i as u32 {
+                return Err(format!("task {i} out of order (id {})", t.task_id));
+            }
+            if !t.start.is_finite() || !t.end.is_finite() || t.start < 0.0 || t.end < t.start {
+                return Err(format!(
+                    "task {i} has invalid interval [{}, {}]",
+                    t.start, t.end
+                ));
+            }
+        }
+        if let Some(max) = self.max_task_duration() {
+            if (self.phases.map - max).abs() > 1e-9 {
+                return Err(format!(
+                    "map phase {} disagrees with slowest task {max}",
+                    self.phases.map
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +284,31 @@ mod tests {
         assert_eq!(back.config, None);
         assert_eq!(back.phases, t.phases);
         assert_eq!(back.tasks, t.tasks);
+    }
+
+    #[test]
+    fn invariants_hold_for_well_formed_traces() {
+        assert_eq!(trace().check_invariants(), Ok(()));
+        assert_eq!(JobTrace::default().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_catch_corruption() {
+        let mut t = trace();
+        t.phases.shuffle = -1.0;
+        assert!(t.check_invariants().is_err());
+
+        let mut t = trace();
+        t.tasks[1].end = t.tasks[1].start - 1.0;
+        assert!(t.check_invariants().is_err());
+
+        let mut t = trace();
+        t.tasks.swap(0, 1);
+        assert!(t.check_invariants().is_err());
+
+        let mut t = trace();
+        t.phases.map = 99.0; // disagrees with slowest task (10 s)
+        assert!(t.check_invariants().is_err());
     }
 
     #[test]

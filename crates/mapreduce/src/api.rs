@@ -20,6 +20,12 @@ impl Sizeable for &str {
     }
 }
 
+impl Sizeable for std::sync::Arc<str> {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
 impl Sizeable for u64 {
     fn size_bytes(&self) -> u64 {
         8
@@ -53,6 +59,12 @@ impl Sizeable for () {
 impl Sizeable for Vec<u8> {
     fn size_bytes(&self) -> u64 {
         self.len() as u64
+    }
+}
+
+impl<const N: usize> Sizeable for [u8; N] {
+    fn size_bytes(&self) -> u64 {
+        N as u64
     }
 }
 
@@ -96,8 +108,10 @@ pub enum OutputScaling {
 ///         }
 ///     }
 ///
-///     fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
-///         vec![values.into_iter().sum()]
+///     fn combine(&self, _key: &String, values: &mut Vec<u64>) {
+///         let sum = values.iter().sum();
+///         values.clear();
+///         values.push(sum);
 ///     }
 ///
 ///     fn output_scaling(&self) -> OutputScaling {
@@ -116,11 +130,11 @@ pub trait Mapper {
     /// Maps one record, emitting zero or more key/value pairs.
     fn map(&self, input: &Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
 
-    /// Optional map-side combiner applied per task and key. The default
-    /// passes values through unchanged.
-    fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
-        values
-    }
+    /// Optional map-side combiner applied per task and key, rewriting
+    /// the group's values in place (so a summing combiner reuses the
+    /// group's buffer instead of allocating a fresh one per key). The
+    /// default leaves the values unchanged.
+    fn combine(&self, _key: &Self::Key, _values: &mut Vec<Self::Value>) {}
 
     /// How this mapper's output volume extrapolates to nominal shard
     /// sizes. Defaults to [`OutputScaling::Proportional`].
@@ -154,6 +168,8 @@ mod tests {
         assert_eq!(3u32.size_bytes(), 4);
         assert_eq!(().size_bytes(), 0);
         assert_eq!(vec![0u8; 10].size_bytes(), 10);
+        assert_eq!([0u8; 10].size_bytes(), 10);
+        assert_eq!(std::sync::Arc::<str>::from("hello").size_bytes(), 5);
         assert_eq!(("ab".to_string(), 1u64).size_bytes(), 10);
     }
 
@@ -170,7 +186,9 @@ mod tests {
     #[test]
     fn default_combine_is_passthrough() {
         let m = Identity;
-        assert_eq!(m.combine(&1, vec![1, 2, 3]), vec![1, 2, 3]);
+        let mut values = vec![1, 2, 3];
+        m.combine(&1, &mut values);
+        assert_eq!(values, vec![1, 2, 3]);
         assert_eq!(m.output_scaling(), OutputScaling::Proportional);
     }
 

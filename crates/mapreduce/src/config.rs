@@ -1,8 +1,27 @@
 //! Job configuration.
 
-use ipso_cluster::{CentralScheduler, ClusterSpec, MemoryModel, NetworkModel, StragglerModel};
+use ipso_cluster::{
+    CentralScheduler, ClusterSpec, EngineOptions, MemoryModel, NetworkModel, StragglerModel,
+};
 
 use crate::cost::JobCostModel;
+
+/// Which shuffle/grouping implementation the engine's data path uses.
+///
+/// Both implementations produce byte-identical outputs, traces, and
+/// intermediate-volume accounting; they differ only in host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShuffleImpl {
+    /// Sort-based shuffle: flat pair buffer, one stable sort per task,
+    /// combine streamed over sorted runs, binary-heap k-way merge on the
+    /// reduce side. The default and the fast path.
+    #[default]
+    SortMerge,
+    /// The original `BTreeMap`-per-key grouping with a rebuilt merged
+    /// map on the reduce side. Kept as the reference implementation for
+    /// the benchmark regression harness and equivalence tests.
+    BTreeGrouping,
+}
 
 /// Full configuration of one MapReduce job execution.
 ///
@@ -39,6 +58,11 @@ pub struct JobSpec {
     /// server. `false` (the default) charges the shuffle strictly after
     /// the barrier, as the paper's phase decomposition assumes.
     pub pipelined_shuffle: bool,
+    /// Host-side execution knobs (map-wave thread count). Never affects
+    /// outputs or traces, only how fast the host executes them.
+    pub engine: EngineOptions,
+    /// Shuffle/grouping implementation of the data path.
+    pub shuffle: ShuffleImpl,
     /// RNG seed: identical specs produce identical traces.
     pub seed: u64,
 }
@@ -57,6 +81,8 @@ impl JobSpec {
             straggler: StragglerModel::mild(),
             cost: JobCostModel::io_bound(),
             pipelined_shuffle: false,
+            engine: EngineOptions::default(),
+            shuffle: ShuffleImpl::default(),
             seed: 42,
         }
     }

@@ -11,14 +11,37 @@
 //! Both modes *really execute* the user's map/combine/reduce functions
 //! over the sample records and produce real outputs; only wall-clock time
 //! is synthetic, charged from nominal data volumes via the cost model.
+//!
+//! # Host-side execution
+//!
+//! The data path is built for throughput, the way the model describes
+//! the cluster executing it:
+//!
+//! * map tasks run as a parallel wave over `spec.engine.threads` host
+//!   threads ([`ipso_sim::par::ordered_map_indexed`]), with results
+//!   collected in task order so outputs and traces are byte-identical
+//!   to the sequential path for any thread count;
+//! * the map-side sort is a single flat pair buffer pre-sized from the
+//!   split, stably sorted by key, with the combiner streamed over the
+//!   sorted runs through one reused scratch buffer — no per-key tree
+//!   nodes, per-group `Vec`s or rebuilt maps: each task's run is stored
+//!   flat (keys + group offsets + one value buffer);
+//! * the reduce side k-way-merges the already-sorted per-task runs
+//!   through a binary heap instead of rebuilding a merged map; a key
+//!   that lives in a single run is reduced straight off that run's
+//!   value buffer, copy-free.
+//!
+//! The original double `BTreeMap` grouping survives, faithfully, as
+//! [`ShuffleImpl::BTreeGrouping`] so the benchmark regression harness
+//! can measure the before/after and tests can assert equivalence.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use ipso_cluster::{run_wave_schedule, JobTrace, PhaseTimes, RunConfig, StragglerModel};
 use ipso_sim::SimRng;
 
 use crate::api::{Mapper, OutputScaling, Reducer};
-use crate::config::JobSpec;
+use crate::config::{JobSpec, ShuffleImpl};
 use crate::split::InputSplit;
 
 /// The result of one job execution.
@@ -32,66 +55,261 @@ pub struct JobRun<O> {
     pub reduce_input_bytes: u64,
 }
 
-/// The per-task result of the (real) map-side computation.
+/// The per-task result of the (real) map-side computation: a run sorted
+/// by key, stored flat. Group `i` holds `keys[i]` with the values
+/// `values[ends[i - 1]..ends[i]]` — three allocations per task instead
+/// of one `Vec` per key group.
 struct MappedTask<K, V> {
-    /// Combined key/value pairs, grouped by key.
-    groups: BTreeMap<K, Vec<V>>,
+    /// Group keys in ascending order.
+    keys: Vec<K>,
+    /// Cumulative group end offsets into `values`, parallel to `keys`.
+    ends: Vec<u32>,
+    /// All groups' values, concatenated in key order.
+    values: Vec<V>,
     /// Nominal post-combine output bytes.
     nominal_out_bytes: u64,
 }
 
 /// Runs the map + combine side of one task for real.
-fn execute_map_task<M>(mapper: &M, split: &InputSplit<M::Input>) -> MappedTask<M::Key, M::Value>
+fn execute_map_task<M>(
+    mapper: &M,
+    split: &InputSplit<M::Input>,
+    shuffle: ShuffleImpl,
+) -> MappedTask<M::Key, M::Value>
 where
     M: Mapper,
 {
     use crate::api::Sizeable;
 
-    let mut pairs: Vec<(M::Key, M::Value)> = Vec::new();
+    // The reference path keeps the seed's unsized buffer so the
+    // regression benchmarks measure the original allocation behaviour.
+    let mut pairs: Vec<(M::Key, M::Value)> = match shuffle {
+        ShuffleImpl::SortMerge => Vec::with_capacity(split.records.len()),
+        ShuffleImpl::BTreeGrouping => Vec::new(),
+    };
     for record in &split.records {
         mapper.map(record, &mut |k, v| pairs.push((k, v)));
     }
-    // Group by key (the map-side sort), then combine.
-    let mut groups: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
-    for (k, v) in pairs {
-        groups.entry(k).or_default().push(v);
-    }
-    let mut combined: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+
+    let mut keys: Vec<M::Key> = Vec::new();
+    let mut ends: Vec<u32> = Vec::new();
+    let mut values: Vec<M::Value> = Vec::new();
     let mut sample_out_bytes: u64 = 0;
-    for (k, vs) in groups {
-        let vs = mapper.combine(&k, vs);
-        for v in &vs {
-            sample_out_bytes += k.size_bytes() + v.size_bytes();
+
+    match shuffle {
+        ShuffleImpl::SortMerge => {
+            // The map-side sort: one stable sort of the flat buffer (so
+            // order-sensitive reducers see values in emission order, as
+            // the grouping path produced them), then combine streamed
+            // over the sorted runs in a single pass through one reused
+            // scratch group.
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            values.reserve(pairs.len());
+            let mut flush = |key: M::Key, group: &mut Vec<M::Value>| {
+                mapper.combine(&key, group);
+                for v in group.iter() {
+                    sample_out_bytes += key.size_bytes() + v.size_bytes();
+                }
+                keys.push(key);
+                values.append(group);
+                ends.push(values.len() as u32);
+            };
+            let mut pairs = pairs.into_iter();
+            if let Some((first_k, first_v)) = pairs.next() {
+                let mut key = first_k;
+                let mut group = vec![first_v];
+                for (k, v) in pairs {
+                    if k == key {
+                        group.push(v);
+                    } else {
+                        flush(std::mem::replace(&mut key, k), &mut group);
+                        group.push(v);
+                    }
+                }
+                flush(key, &mut group);
+            }
         }
-        combined.insert(k, vs);
+        ShuffleImpl::BTreeGrouping => {
+            // Reference path, kept faithful to the seed: group through a
+            // per-key tree, combine into a second rebuilt tree, then
+            // marshal into the run container.
+            let mut groups: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+            for (k, v) in pairs {
+                groups.entry(k).or_default().push(v);
+            }
+            let mut combined: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+            for (k, mut vs) in groups {
+                mapper.combine(&k, &mut vs);
+                for v in &vs {
+                    sample_out_bytes += k.size_bytes() + v.size_bytes();
+                }
+                combined.insert(k, vs);
+            }
+            for (k, vs) in combined {
+                keys.push(k);
+                values.extend(vs);
+                ends.push(values.len() as u32);
+            }
+        }
     }
+
     let nominal_out_bytes = match mapper.output_scaling() {
         OutputScaling::Proportional => (sample_out_bytes as f64 * split.scale_up()).round() as u64,
         OutputScaling::Saturating => sample_out_bytes,
     };
     MappedTask {
-        groups: combined,
+        keys,
+        ends,
+        values,
         nominal_out_bytes,
     }
 }
 
-/// Merges all tasks' groups and runs the reducer for real.
-fn execute_reduce<R>(reducer: &R, tasks: Vec<MappedTask<R::Key, R::Value>>) -> (Vec<R::Output>, u64)
+/// Runs the map + combine side of every task, as a parallel wave over
+/// the host threads configured in `spec.engine`. Results come back in
+/// task order, so downstream accounting is independent of thread count.
+fn execute_map_tasks<M>(
+    mapper: &M,
+    splits: &[InputSplit<M::Input>],
+    spec: &JobSpec,
+) -> Vec<MappedTask<M::Key, M::Value>>
+where
+    M: Mapper + Sync,
+    M::Input: Sync,
+    M::Key: Send,
+    M::Value: Send,
+{
+    ipso_sim::par::ordered_map_indexed(spec.engine.threads, splits.len(), |i| {
+        execute_map_task(mapper, &splits[i], spec.shuffle)
+    })
+}
+
+/// A consumable view of one task's flat run for the k-way merge.
+struct RunSource<K, V> {
+    keys: std::vec::IntoIter<K>,
+    ends: std::vec::IntoIter<u32>,
+    values: Vec<V>,
+    /// Start offset of the next unconsumed group in `values`.
+    pos: usize,
+}
+
+/// The head of one task's run, ordered for min-heap extraction: smallest
+/// key first, ties broken by task index so values merge in task order
+/// exactly as the sequential grouping path appended them.
+struct RunHead<K> {
+    key: K,
+    task: usize,
+}
+
+impl<K: Ord> PartialEq for RunHead<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.task == other.task
+    }
+}
+impl<K: Ord> Eq for RunHead<K> {}
+impl<K: Ord> PartialOrd for RunHead<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord> Ord for RunHead<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so `BinaryHeap` (a max-heap) pops the smallest
+        // (key, task) pair first.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+/// Merges all tasks' sorted runs and runs the reducer for real.
+fn execute_reduce<R>(
+    reducer: &R,
+    tasks: Vec<MappedTask<R::Key, R::Value>>,
+    shuffle: ShuffleImpl,
+) -> (Vec<R::Output>, u64)
 where
     R: Reducer,
 {
-    let mut merged: BTreeMap<R::Key, Vec<R::Value>> = BTreeMap::new();
     let mut reduce_input_bytes: u64 = 0;
-    for t in tasks {
-        reduce_input_bytes += t.nominal_out_bytes;
-        for (k, mut vs) in t.groups {
-            merged.entry(k).or_default().append(&mut vs);
+    let mut output = Vec::new();
+
+    match shuffle {
+        ShuffleImpl::SortMerge => {
+            // K-way merge over the per-task runs: a binary heap holds one
+            // head key per task. A key that lives in a single run is
+            // reduced directly from that run's value buffer; equal keys
+            // across tasks are coalesced into one reused scratch group in
+            // task order.
+            let mut sources: Vec<RunSource<R::Key, R::Value>> = tasks
+                .into_iter()
+                .map(|t| {
+                    reduce_input_bytes += t.nominal_out_bytes;
+                    RunSource {
+                        keys: t.keys.into_iter(),
+                        ends: t.ends.into_iter(),
+                        values: t.values,
+                        pos: 0,
+                    }
+                })
+                .collect();
+            let mut heap: BinaryHeap<RunHead<R::Key>> = BinaryHeap::with_capacity(sources.len());
+            for (task, source) in sources.iter_mut().enumerate() {
+                if let Some(key) = source.keys.next() {
+                    heap.push(RunHead { key, task });
+                }
+            }
+            let mut scratch: Vec<R::Value> = Vec::new();
+            while let Some(RunHead { key, task }) = heap.pop() {
+                let src = &mut sources[task];
+                let start = src.pos;
+                let end = src.ends.next().expect("ends parallel to keys") as usize;
+                src.pos = end;
+                if let Some(next_key) = src.keys.next() {
+                    heap.push(RunHead {
+                        key: next_key,
+                        task,
+                    });
+                }
+                let key_continues = heap.peek().is_some_and(|head| head.key == key);
+                if !key_continues && scratch.is_empty() {
+                    // Sole-run key: reduce straight off the run, no copy.
+                    reducer.reduce(&key, &sources[task].values[start..end], &mut |o| {
+                        output.push(o);
+                    });
+                } else {
+                    scratch.extend_from_slice(&sources[task].values[start..end]);
+                    if !key_continues {
+                        reducer.reduce(&key, &scratch, &mut |o| output.push(o));
+                        scratch.clear();
+                    }
+                }
+            }
+        }
+        ShuffleImpl::BTreeGrouping => {
+            // Reference path, faithful to the seed: rebuild one merged
+            // map, then reduce.
+            let mut merged: BTreeMap<R::Key, Vec<R::Value>> = BTreeMap::new();
+            for t in tasks {
+                reduce_input_bytes += t.nominal_out_bytes;
+                let mut vals = t.values.into_iter();
+                let mut pos: usize = 0;
+                for (k, end) in t.keys.into_iter().zip(t.ends) {
+                    let end = end as usize;
+                    merged
+                        .entry(k)
+                        .or_default()
+                        .extend(vals.by_ref().take(end - pos));
+                    pos = end;
+                }
+            }
+            for (k, vs) in &merged {
+                reducer.reduce(k, vs, &mut |o| output.push(o));
+            }
         }
     }
-    let mut output = Vec::new();
-    for (k, vs) in &merged {
-        reducer.reduce(k, vs, &mut |o| output.push(o));
-    }
+
     (output, reduce_input_bytes)
 }
 
@@ -117,7 +335,10 @@ pub fn run_scale_out<M, R>(
     splits: &[InputSplit<M::Input>],
 ) -> JobRun<R::Output>
 where
-    M: Mapper,
+    M: Mapper + Sync,
+    M::Input: Sync,
+    M::Key: Send,
+    M::Value: Send,
     R: Reducer<Key = M::Key, Value = M::Value>,
 {
     assert!(!splits.is_empty(), "scale-out run needs at least one split");
@@ -132,9 +353,8 @@ where
     let n = splits.len() as u32;
     let mut rng = SimRng::seed_from(spec.seed ^ u64::from(n));
 
-    // Real map-side computation.
-    let mapped: Vec<MappedTask<M::Key, M::Value>> =
-        splits.iter().map(|s| execute_map_task(mapper, s)).collect();
+    // Real map-side computation, executed as a parallel wave.
+    let mapped: Vec<MappedTask<M::Key, M::Value>> = execute_map_tasks(mapper, splits, spec);
 
     // Nominal task durations with straggler noise.
     let durations: Vec<f64> = splits
@@ -170,7 +390,7 @@ where
     let slowdown = spec.reducer_memory.slowdown(total_intermediate);
     let merge = spec.cost.serial_setup + spec.cost.merge_time(total_intermediate) * slowdown;
 
-    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped);
+    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped, spec.shuffle);
     let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
 
     // Scale-out-only overheads: extra job setup versus the sequential
@@ -290,7 +510,10 @@ pub fn run_sequential<M, R>(
     splits: &[InputSplit<M::Input>],
 ) -> JobRun<R::Output>
 where
-    M: Mapper,
+    M: Mapper + Sync,
+    M::Input: Sync,
+    M::Key: Send,
+    M::Value: Send,
     R: Reducer<Key = M::Key, Value = M::Value>,
 {
     assert!(
@@ -300,8 +523,9 @@ where
     spec.validate().expect("invalid job spec");
     let n = splits.len() as u32;
 
-    let mapped: Vec<MappedTask<M::Key, M::Value>> =
-        splits.iter().map(|s| execute_map_task(mapper, s)).collect();
+    // "Sequential" refers to the simulated execution model, not the
+    // host: the real record processing still uses the map wave.
+    let mapped: Vec<MappedTask<M::Key, M::Value>> = execute_map_tasks(mapper, splits, spec);
 
     let mean_mult = spec.straggler.mean_multiplier();
     let map_total: f64 = splits
@@ -314,7 +538,7 @@ where
     let slowdown = spec.reducer_memory.slowdown(total_intermediate);
     let merge = spec.cost.serial_setup + spec.cost.merge_time(total_intermediate) * slowdown;
 
-    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped);
+    let (output, reduce_input_bytes) = execute_reduce(reducer, mapped, spec.shuffle);
     let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
 
     let trace = JobTrace {
@@ -378,8 +602,10 @@ mod tests {
         fn map(&self, input: &u64, emit: &mut dyn FnMut(u64, u64)) {
             emit(input % 10, 1);
         }
-        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
-            vec![values.iter().sum()]
+        fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+            let sum = values.iter().sum();
+            values.clear();
+            values.push(sum);
         }
         fn output_scaling(&self) -> OutputScaling {
             OutputScaling::Saturating
@@ -486,6 +712,61 @@ mod tests {
         spec.seed = 7;
         let b = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
         assert_ne!(a.trace.phases.map, b.trace.phases.map);
+    }
+
+    #[test]
+    fn shuffle_impls_are_equivalent() {
+        let mut spec = JobSpec::emr("sort", 4);
+        let s = splits(4, 200);
+        spec.shuffle = ShuffleImpl::SortMerge;
+        let fast = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+        spec.shuffle = ShuffleImpl::BTreeGrouping;
+        let reference = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+        assert_eq!(fast.output, reference.output);
+        assert_eq!(fast.reduce_input_bytes, reference.reduce_input_bytes);
+        assert_eq!(fast.trace, reference.trace);
+
+        let mut spec = JobSpec::emr("count", 3);
+        let s = splits(3, 500);
+        spec.shuffle = ShuffleImpl::SortMerge;
+        let fast = run_scale_out(&spec, &CountMap, &SumReduce, &s);
+        spec.shuffle = ShuffleImpl::BTreeGrouping;
+        let reference = run_scale_out(&spec, &CountMap, &SumReduce, &s);
+        assert_eq!(fast.output, reference.output);
+        assert_eq!(fast.reduce_input_bytes, reference.reduce_input_bytes);
+        assert_eq!(fast.trace, reference.trace);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let s = splits(6, 300);
+        let mut spec = JobSpec::emr("count", 6);
+        let baseline = run_scale_out(&spec, &CountMap, &SumReduce, &s);
+        let baseline_seq = run_sequential(&spec, &CountMap, &SumReduce, &s);
+        for threads in [0, 2, 3, 8] {
+            spec.engine.threads = threads;
+            let par = run_scale_out(&spec, &CountMap, &SumReduce, &s);
+            assert_eq!(par.output, baseline.output, "threads = {threads}");
+            assert_eq!(par.trace, baseline.trace, "threads = {threads}");
+            assert_eq!(par.reduce_input_bytes, baseline.reduce_input_bytes);
+            let seq = run_sequential(&spec, &CountMap, &SumReduce, &s);
+            assert_eq!(seq.output, baseline_seq.output, "threads = {threads}");
+            assert_eq!(seq.trace, baseline_seq.trace, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn traces_satisfy_structural_invariants() {
+        let spec = JobSpec::emr("sort", 8);
+        let s = splits(8, 100);
+        run_scale_out(&spec, &IdMap, &IdReduce, &s)
+            .trace
+            .check_invariants()
+            .unwrap();
+        run_sequential(&spec, &IdMap, &IdReduce, &s)
+            .trace
+            .check_invariants()
+            .unwrap();
     }
 
     #[test]

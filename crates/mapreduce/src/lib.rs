@@ -34,7 +34,7 @@ pub mod measure;
 pub mod split;
 
 pub use api::{Mapper, OutputScaling, Reducer, Sizeable};
-pub use config::JobSpec;
+pub use config::{JobSpec, ShuffleImpl};
 pub use cost::JobCostModel;
 pub use engine::{run_scale_out, run_sequential, JobRun};
 pub use measure::{measurement_from_runs, ScalingSweep};

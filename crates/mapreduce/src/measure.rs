@@ -77,7 +77,10 @@ impl ScalingSweep {
         mut seq_splits: impl FnMut(u32) -> Vec<InputSplit<M::Input>>,
     ) -> ScalingSweep
     where
-        M: Mapper,
+        M: Mapper + Sync,
+        M::Input: Sync,
+        M::Key: Send,
+        M::Value: Send,
         R: Reducer<Key = M::Key, Value = M::Value>,
     {
         let mut points = Vec::with_capacity(ns.len());

@@ -32,6 +32,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod special;
@@ -40,6 +41,7 @@ pub mod time;
 
 pub use engine::Simulation;
 pub use event::EventQueue;
+pub use par::{ordered_map_indexed, resolve_threads};
 pub use resource::{FifoServer, ServerPool};
 pub use rng::{stream_seed, SimRng};
 pub use special::{ln_beta, ln_gamma, pareto_expected_max};

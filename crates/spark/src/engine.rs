@@ -1,7 +1,23 @@
 //! Stage-DAG execution.
+//!
+//! # Host-side execution
+//!
+//! [`run_job`] runs in three phases so the expensive part — computing
+//! each stage's wave schedule — can use `spec.engine.threads` host
+//! threads without changing a single output byte:
+//!
+//! 1. **Plan** (sequential): per-stage RNG draws and duration vectors, in
+//!    stage order, so the straggler stream is identical to the
+//!    sequential engine's;
+//! 2. **Schedule** (parallel wave over stages): actual, idealized and
+//!    no-straggler schedules per stage, with any observability records
+//!    captured thread-locally ([`ipso_obs::capture`]);
+//! 3. **Walk** (sequential): the virtual clock advances stage by stage,
+//!    merging each stage's captured records in stage order so the global
+//!    observability stream is byte-identical to a sequential run.
 
-use ipso_cluster::run_wave_schedule;
-use ipso_cluster::{CentralScheduler, StragglerModel};
+use ipso_cluster::{run_wave_schedule, uniform_wave_makespan};
+use ipso_cluster::{CentralScheduler, StragglerModel, TaskSchedule};
 use ipso_sim::SimRng;
 
 use crate::eventlog::{write_event_log, SparkEvent};
@@ -36,6 +52,35 @@ impl SparkRun {
     }
 }
 
+/// The pre-drawn inputs of one stage's schedule: everything that
+/// consumes the RNG stream, computed sequentially in stage order.
+struct StagePlan {
+    /// Serialized driver broadcast time.
+    broadcast: f64,
+    /// Nominal task time (compute + input read) before noise.
+    base: f64,
+    /// Spill multiplier from executor memory pressure.
+    mem_mult: f64,
+    /// Number of first-wave tasks paying the one-time executor cost.
+    first_wave: usize,
+    /// Per-task durations with first-wave cost and straggler noise.
+    durations: Vec<f64>,
+}
+
+/// One stage's computed schedules, ready for the sequential clock walk.
+struct StageSchedule {
+    /// The actual wave schedule.
+    schedule: TaskSchedule,
+    /// Makespan of the idealized (free dispatch, no first wave, no
+    /// noise) schedule.
+    ideal_makespan: f64,
+    /// No-straggler durations and their makespan under the real
+    /// scheduler, computed only when observability is on.
+    no_straggler: Option<(Vec<f64>, f64)>,
+    /// Observability records captured while scheduling.
+    records: ipso_obs::LocalRecords,
+}
+
 /// Executes the job's stage DAG on `m` executors.
 ///
 /// Per stage, in order:
@@ -60,6 +105,98 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
     let mut rng =
         SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
 
+    // Phase 1 — plan. All RNG consumption happens here, sequentially in
+    // stage order, so the straggler stream is independent of how the
+    // schedules are later computed.
+    let plans: Vec<StagePlan> = spec
+        .stages
+        .iter()
+        .map(|stage| {
+            let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
+
+            // Memory pressure: tasks per executor × cached partition size.
+            let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
+            let working_set = if stage.caches_input {
+                (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
+            } else {
+                stage.input_bytes_per_task
+            };
+            let mem_mult = if working_set > spec.executor_memory {
+                spec.spill_slowdown
+            } else {
+                1.0
+            };
+
+            // Task durations with first-wave cost and straggler noise.
+            let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+            let first_wave = m.min(stage.tasks) as usize;
+            let durations: Vec<f64> = (0..stage.tasks as usize)
+                .map(|i| {
+                    let fw = if i < first_wave {
+                        spec.first_wave_cost
+                    } else {
+                        0.0
+                    };
+                    base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
+                })
+                .collect();
+            StagePlan {
+                broadcast,
+                base,
+                mem_mult,
+                first_wave,
+                durations,
+            }
+        })
+        .collect();
+
+    // Phase 2 — schedule, as a parallel wave over stages. Each worker
+    // captures its observability records thread-locally; they are merged
+    // in stage order during the clock walk, so the global stream is
+    // byte-identical to a sequential run for any thread count.
+    let schedules: Vec<StageSchedule> =
+        ipso_sim::par::ordered_map_indexed(spec.engine.threads, plans.len(), |i| {
+            let plan = &plans[i];
+            let ((schedule, ideal_makespan, no_straggler), records) = ipso_obs::capture(|| {
+                let schedule = run_wave_schedule(&plan.durations, m as usize, &spec.scheduler);
+                // The overhead yardstick: an idealized schedule with free
+                // dispatch, no first-wave cost and no noise. Its tasks are
+                // uniform, so the allocation-free closed form applies.
+                let ideal_makespan = uniform_wave_makespan(
+                    plan.base * plan.mem_mult,
+                    plan.durations.len(),
+                    m as usize,
+                    &CentralScheduler::idealized(),
+                );
+                // No-straggler schedule under the *same* scheduler, used
+                // to split overhead into tail and scheduling shares.
+                let no_straggler = if ipso_obs::enabled() {
+                    let ns: Vec<f64> = (0..plan.durations.len())
+                        .map(|i| {
+                            let fw = if i < plan.first_wave {
+                                spec.first_wave_cost
+                            } else {
+                                0.0
+                            };
+                            plan.base * plan.mem_mult + fw
+                        })
+                        .collect();
+                    let ns_makespan = run_wave_schedule(&ns, m as usize, &spec.scheduler).makespan;
+                    Some((ns, ns_makespan))
+                } else {
+                    None
+                };
+                (schedule, ideal_makespan, no_straggler)
+            });
+            StageSchedule {
+                schedule,
+                ideal_makespan,
+                no_straggler,
+                records,
+            }
+        });
+
+    // Phase 3 — walk the virtual clock through the stages in order.
     let mut clock = 0.0f64;
     let mut overhead = 0.0f64;
     let mut stage_times = Vec::with_capacity(spec.stages.len());
@@ -79,7 +216,9 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
         ipso_obs::gauge_add("overhead.scheduling_s", launch);
     }
 
-    for (stage_id, stage) in spec.stages.iter().enumerate() {
+    for (((stage_id, stage), plan), staged) in
+        spec.stages.iter().enumerate().zip(&plans).zip(schedules)
+    {
         let submitted = clock;
         events.push(SparkEvent::StageSubmitted {
             stage_id: stage_id as u32,
@@ -89,7 +228,7 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
         });
 
         // 1. Driver broadcast (serialized unicasts).
-        let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
+        let broadcast = plan.broadcast;
         clock += broadcast;
         overhead += broadcast;
         if ipso_obs::enabled() {
@@ -106,59 +245,14 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
             ipso_obs::gauge_add("overhead.broadcast_s", broadcast);
         }
 
-        // 3. Memory pressure: tasks per executor × cached partition size.
-        let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
-        let working_set = if stage.caches_input {
-            (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
-        } else {
-            stage.input_bytes_per_task
-        };
-        let mem_mult = if working_set > spec.executor_memory {
-            spec.spill_slowdown
-        } else {
-            1.0
-        };
-
-        // 2. Task durations with first-wave cost and straggler noise.
-        let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
-        let first_wave = m.min(stage.tasks) as usize;
-        let durations: Vec<f64> = (0..stage.tasks as usize)
-            .map(|i| {
-                let fw = if i < first_wave {
-                    spec.first_wave_cost
-                } else {
-                    0.0
-                };
-                base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
-            })
-            .collect();
-        let schedule = run_wave_schedule(&durations, m as usize, &spec.scheduler);
-
-        // The overhead share of the split phase: actual makespan minus an
-        // idealized schedule with free dispatch and no first-wave cost.
-        let ideal: Vec<f64> = (0..stage.tasks as usize).map(|_| base * mem_mult).collect();
-        let ideal_makespan =
-            run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
-        let stage_overhead = (schedule.makespan - ideal_makespan).max(0.0);
+        // 2./3. The schedules computed in phase 2; their captured records
+        // land in the global stream here, in stage order.
+        ipso_obs::merge(staged.records);
+        let schedule = staged.schedule;
+        let stage_overhead = (schedule.makespan - staged.ideal_makespan).max(0.0);
         overhead += stage_overhead;
-        if ipso_obs::enabled() {
-            // Split the stage's overhead into the straggler tail (actual
-            // makespan beyond a no-straggler schedule under the *same*
-            // scheduler) and the scheduling remainder (dispatch
-            // serialization + first-wave cost).
-            let no_straggler: Vec<f64> = (0..stage.tasks as usize)
-                .map(|i| {
-                    let fw = if i < first_wave {
-                        spec.first_wave_cost
-                    } else {
-                        0.0
-                    };
-                    base * mem_mult + fw
-                })
-                .collect();
-            let ns_makespan =
-                run_wave_schedule(&no_straggler, m as usize, &spec.scheduler).makespan;
-            let tail = (schedule.makespan - ns_makespan).clamp(0.0, stage_overhead);
+        if let Some((no_straggler, ns_makespan)) = &staged.no_straggler {
+            let tail = (schedule.makespan - *ns_makespan).clamp(0.0, stage_overhead);
             ipso_obs::gauge_add("overhead.straggler_tail_s", tail);
             ipso_obs::gauge_add("overhead.scheduling_s", stage_overhead - tail);
             for record in &schedule.records {
@@ -374,6 +468,61 @@ mod tests {
     fn runs_are_deterministic() {
         let job = simple_job(16, 4);
         assert_eq!(run_job(&job), run_job(&job));
+    }
+
+    fn multi_stage_job() -> SparkJobSpec {
+        SparkJobSpec::emr("multi", 32, 8)
+            .stage(
+                StageSpec::new("load", 32)
+                    .with_task_compute(0.4)
+                    .with_input_bytes(64 * 1024 * 1024)
+                    .with_shuffle_output(8 * 1024 * 1024),
+            )
+            .stage(
+                StageSpec::new("train", 32)
+                    .with_task_compute(0.6)
+                    .with_broadcast(10 * 1024 * 1024),
+            )
+            .stage(StageSpec::new("agg", 8).with_task_compute(0.2))
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let mut job = multi_stage_job();
+        let baseline = run_job(&job);
+        for threads in [0, 2, 3, 8] {
+            job.engine.threads = threads;
+            assert_eq!(run_job(&job), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn observability_stream_is_identical_for_any_thread_count() {
+        let _guard = obs_test_lock();
+        let collect = |threads: usize| {
+            ipso_obs::set_enabled(true);
+            ipso_obs::reset();
+            let mut job = multi_stage_job();
+            job.engine.threads = threads;
+            let run = run_job(&job);
+            let events = ipso_obs::take_events();
+            let metrics = ipso_obs::snapshot();
+            ipso_obs::set_enabled(false);
+            ipso_obs::reset();
+            (run, events, metrics)
+        };
+        let sequential = collect(1);
+        assert!(!sequential.1.is_empty());
+        for threads in [2, 4] {
+            assert_eq!(collect(threads), sequential, "threads = {threads}");
+        }
+    }
+
+    /// Serializes tests that toggle the global obs recorder.
+    fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

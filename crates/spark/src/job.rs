@@ -1,6 +1,6 @@
 //! Spark job configuration.
 
-use ipso_cluster::{CentralScheduler, ClusterSpec, NetworkModel, StragglerModel};
+use ipso_cluster::{CentralScheduler, ClusterSpec, EngineOptions, NetworkModel, StragglerModel};
 use serde::{Deserialize, Serialize};
 
 use crate::stage::StageSpec;
@@ -41,6 +41,12 @@ pub struct SparkJobSpec {
     /// time is `m × executor_launch_cost` — a scale-out-induced overhead
     /// linear in the parallel degree.
     pub executor_launch_cost: f64,
+    /// Host-side execution knobs (stage-schedule thread count). Never
+    /// affects simulated time, traces or event logs, only how fast the
+    /// host computes them. Defaults to sequential so specs serialized
+    /// before this field existed still deserialize.
+    #[serde(default)]
+    pub engine: EngineOptions,
     /// RNG seed.
     pub seed: u64,
 }
@@ -63,6 +69,7 @@ impl SparkJobSpec {
             spill_slowdown: 1.6,
             first_wave_cost: 0.35,
             executor_launch_cost: 0.09,
+            engine: EngineOptions::default(),
             seed: 42,
         }
     }

@@ -21,6 +21,11 @@ const SAMPLE_RECORDS: usize = 400;
 /// Extracts the 10-byte TeraGen key; the value carries the row id plus
 /// the record's 82-byte payload so the full 100-byte record transits the
 /// reducer (that volume is what overflows its memory).
+///
+/// Keys and payloads are fixed-size inline arrays — emitting, grouping
+/// and merging a record never touches the heap; sizes (10 + 90 bytes)
+/// match the previous `Vec<u8>` representation exactly, so volume
+/// accounting is unchanged.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TeraSortMapper;
 
@@ -29,12 +34,12 @@ const PAYLOAD_BYTES: usize = 82;
 
 impl Mapper for TeraSortMapper {
     type Input = TeraRecord;
-    type Key = Vec<u8>;
-    type Value = (u64, Vec<u8>);
+    type Key = [u8; 10];
+    type Value = (u64, [u8; PAYLOAD_BYTES]);
 
-    fn map(&self, record: &TeraRecord, emit: &mut dyn FnMut(Vec<u8>, (u64, Vec<u8>))) {
-        let payload = vec![record.row as u8; PAYLOAD_BYTES];
-        emit(record.key.to_vec(), (record.row, payload));
+    fn map(&self, record: &TeraRecord, emit: &mut dyn FnMut([u8; 10], (u64, [u8; PAYLOAD_BYTES]))) {
+        let payload = [record.row as u8; PAYLOAD_BYTES];
+        emit(record.key, (record.row, payload));
     }
 }
 
@@ -43,18 +48,18 @@ impl Mapper for TeraSortMapper {
 pub struct TeraSortReducer;
 
 impl Reducer for TeraSortReducer {
-    type Key = Vec<u8>;
-    type Value = (u64, Vec<u8>);
+    type Key = [u8; 10];
+    type Value = (u64, [u8; PAYLOAD_BYTES]);
     type Output = (Vec<u8>, u64);
 
     fn reduce(
         &self,
-        key: &Vec<u8>,
-        values: &[(u64, Vec<u8>)],
+        key: &[u8; 10],
+        values: &[(u64, [u8; PAYLOAD_BYTES])],
         emit: &mut dyn FnMut((Vec<u8>, u64)),
     ) {
         for (row, _) in values {
-            emit((key.clone(), *row));
+            emit((key.to_vec(), *row));
         }
     }
 }

@@ -7,6 +7,8 @@
 //! reducer setup and the paper measures `IN(n) ≈ 1` — a benign It/IIt
 //! scaling type.
 
+use std::sync::Arc;
+
 use ipso_mapreduce::{
     InputSplit, JobCostModel, JobSpec, Mapper, OutputScaling, Reducer, ScalingSweep,
 };
@@ -22,22 +24,61 @@ const SAMPLE_LINES: usize = 250;
 const WORDS_PER_LINE: usize = 8;
 
 /// Tokenizing mapper with a summing combiner.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct WordCountMapper;
+///
+/// Keys are interned `Arc<str>` handles into the generated dictionary:
+/// emitting a token hashes it into the dictionary set and clones a
+/// pointer instead of allocating a fresh `String` per token, and every
+/// downstream clone of the key (grouping, combining, merging) stays
+/// allocation-free. Tokens outside the dictionary — impossible for
+/// [`random_lines`] text, but allowed by the API — fall back to a
+/// one-off allocation.
+#[derive(Debug, Clone)]
+pub struct WordCountMapper {
+    /// The dictionary, as a hash set for O(1) interning.
+    dict: std::collections::HashSet<Arc<str>>,
+}
+
+impl WordCountMapper {
+    /// Builds the mapper, interning the generated dictionary.
+    pub fn new() -> WordCountMapper {
+        let dict = crate::datagen::unix_dictionary()
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+        WordCountMapper { dict }
+    }
+
+    /// The shared handle for `word`: a clone of the dictionary entry, or
+    /// a fresh allocation for out-of-dictionary tokens.
+    fn intern(&self, word: &str) -> Arc<str> {
+        match self.dict.get(word) {
+            Some(entry) => Arc::clone(entry),
+            None => Arc::from(word),
+        }
+    }
+}
+
+impl Default for WordCountMapper {
+    fn default() -> WordCountMapper {
+        WordCountMapper::new()
+    }
+}
 
 impl Mapper for WordCountMapper {
     type Input = String;
-    type Key = String;
+    type Key = Arc<str>;
     type Value = u64;
 
-    fn map(&self, line: &String, emit: &mut dyn FnMut(String, u64)) {
+    fn map(&self, line: &String, emit: &mut dyn FnMut(Arc<str>, u64)) {
         for word in line.split_whitespace() {
-            emit(word.to_string(), 1);
+            emit(self.intern(word), 1);
         }
     }
 
-    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
-        vec![values.into_iter().sum()]
+    fn combine(&self, _key: &Arc<str>, values: &mut Vec<u64>) {
+        let sum = values.iter().sum();
+        values.clear();
+        values.push(sum);
     }
 
     fn output_scaling(&self) -> OutputScaling {
@@ -50,12 +91,12 @@ impl Mapper for WordCountMapper {
 pub struct WordCountReducer;
 
 impl Reducer for WordCountReducer {
-    type Key = String;
+    type Key = Arc<str>;
     type Value = u64;
     type Output = (String, u64);
 
-    fn reduce(&self, key: &String, values: &[u64], emit: &mut dyn FnMut((String, u64))) {
-        emit((key.clone(), values.iter().sum()));
+    fn reduce(&self, key: &Arc<str>, values: &[u64], emit: &mut dyn FnMut((String, u64))) {
+        emit((key.to_string(), values.iter().sum()));
     }
 }
 
@@ -97,7 +138,7 @@ pub fn make_splits(n: u32, seed: u64) -> Vec<InputSplit<String>> {
 pub fn sweep(ns: &[u32]) -> ScalingSweep {
     ScalingSweep::run(
         ns,
-        &WordCountMapper,
+        &WordCountMapper::new(),
         &WordCountReducer,
         job_spec,
         |n| make_splits(n, 1),
@@ -114,7 +155,12 @@ mod tests {
         use ipso_mapreduce::run_sequential;
         let splits = make_splits(2, 7);
         let expected: u64 = splits.iter().map(|s| s.records.len() as u64 * 8).sum();
-        let run = run_sequential(&job_spec(2), &WordCountMapper, &WordCountReducer, &splits);
+        let run = run_sequential(
+            &job_spec(2),
+            &WordCountMapper::new(),
+            &WordCountReducer,
+            &splits,
+        );
         let total: u64 = run.output.iter().map(|(_, c)| c).sum();
         assert_eq!(total, expected);
         // Every key is a dictionary word.
@@ -124,20 +170,28 @@ mod tests {
     }
 
     #[test]
+    fn dictionary_tokens_are_interned() {
+        let mapper = WordCountMapper::new();
+        let word = crate::datagen::unix_dictionary()[0].clone();
+        let line = format!("{word} {word}");
+        let mut keys = Vec::new();
+        mapper.map(&line, &mut |k, _| keys.push(k));
+        assert_eq!(keys.len(), 2);
+        // Same handle, not merely the same text.
+        assert!(Arc::ptr_eq(&keys[0], &keys[1]));
+        assert_eq!(&*keys[0], word.as_str());
+        // Out-of-dictionary tokens still come through, just unshared.
+        let mut fallback = Vec::new();
+        mapper.map(&"n0t-a-w0rd".to_string(), &mut |k, _| fallback.push(k));
+        assert_eq!(&*fallback[0], "n0t-a-w0rd");
+    }
+
+    #[test]
     fn intermediate_data_saturates() {
         use ipso_mapreduce::run_scale_out;
-        let r4 = run_scale_out(
-            &job_spec(4),
-            &WordCountMapper,
-            &WordCountReducer,
-            &make_splits(4, 1),
-        );
-        let r8 = run_scale_out(
-            &job_spec(8),
-            &WordCountMapper,
-            &WordCountReducer,
-            &make_splits(8, 1),
-        );
+        let mapper = WordCountMapper::new();
+        let r4 = run_scale_out(&job_spec(4), &mapper, &WordCountReducer, &make_splits(4, 1));
+        let r8 = run_scale_out(&job_spec(8), &mapper, &WordCountReducer, &make_splits(8, 1));
         // Reduce input grows at most linearly in tasks with a tiny
         // per-task bound (1000 dictionary entries).
         assert!(r8.reduce_input_bytes < 2 * r4.reduce_input_bytes + 1024);

@@ -10,8 +10,8 @@
 //! ipso predict   runs.csv --window 16 --at 64,128,200 [--confidence 0.9]
 //! ipso provision runs.csv --window 16 --n-max 200 [--worker-cost 0.10 --master-cost 0.80]
 //! ipso report    runs.csv --window 16 --n-max 200 [--fixed-size]
-//! ipso trace     terasort --n 8 --out run.trace.json
-//! ipso metrics   terasort --n 8
+//! ipso trace     terasort --n 8 [--threads 1] --out run.trace.json
+//! ipso metrics   terasort --n 8 [--threads 1]
 //! ```
 //!
 //! `runs.csv` columns: `n,seq_parallel,seq_serial,par_map,par_serial,par_overhead`
@@ -436,7 +436,15 @@ const TRACEABLE_WORKLOADS: &str = "terasort, sort, wordcount";
 /// Runs one named workload at scale-out degree `n` with the
 /// observability layer enabled and returns its job trace; the global
 /// span buffer and metrics registry hold the instrumentation afterwards.
-fn run_traced_workload(name: &str, n: u32, seed: u64) -> Result<ipso_cluster::JobTrace, CliError> {
+/// `threads` sets the host-side map wave width (`0` = all hardware
+/// threads, `1` = sequential); outputs and traces are identical for any
+/// value.
+fn run_traced_workload(
+    name: &str,
+    n: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<ipso_cluster::JobTrace, CliError> {
     use ipso_mapreduce::run_scale_out;
     use ipso_workloads::{sort, terasort, wordcount};
     if n == 0 {
@@ -446,8 +454,10 @@ fn run_traced_workload(name: &str, n: u32, seed: u64) -> Result<ipso_cluster::Jo
     ipso_obs::reset();
     let trace = match name {
         "terasort" => {
+            let mut spec = terasort::job_spec(n);
+            spec.engine.threads = threads;
             run_scale_out(
-                &terasort::job_spec(n),
+                &spec,
                 &terasort::TeraSortMapper,
                 &terasort::TeraSortReducer,
                 &terasort::make_splits(n, seed),
@@ -455,8 +465,10 @@ fn run_traced_workload(name: &str, n: u32, seed: u64) -> Result<ipso_cluster::Jo
             .trace
         }
         "sort" => {
+            let mut spec = sort::job_spec(n);
+            spec.engine.threads = threads;
             run_scale_out(
-                &sort::job_spec(n),
+                &spec,
                 &sort::SortMapper,
                 &sort::SortReducer,
                 &sort::make_splits(n, seed),
@@ -464,9 +476,11 @@ fn run_traced_workload(name: &str, n: u32, seed: u64) -> Result<ipso_cluster::Jo
             .trace
         }
         "wordcount" => {
+            let mut spec = wordcount::job_spec(n);
+            spec.engine.threads = threads;
             run_scale_out(
-                &wordcount::job_spec(n),
-                &wordcount::WordCountMapper,
+                &spec,
+                &wordcount::WordCountMapper::new(),
                 &wordcount::WordCountReducer,
                 &wordcount::make_splits(n, seed),
             )
@@ -507,13 +521,14 @@ pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
         .clone();
     let n = args.f64_or("n", 8.0)? as u32;
     let seed = args.f64_or("seed", 3.0)? as u64;
+    let threads = args.f64_or("threads", 1.0)? as usize;
     let out = args
         .flags
         .get("out")
         .filter(|p| !p.is_empty())
         .ok_or_else(|| CliError("missing required flag --out FILE".into()))?
         .clone();
-    let trace = run_traced_workload(&workload, n, seed)?;
+    let trace = run_traced_workload(&workload, n, seed, threads)?;
     let events = ipso_obs::take_events();
     ipso_obs::set_enabled(false);
     ipso_obs::write_chrome_trace(std::path::Path::new(&out), &events)
@@ -554,7 +569,8 @@ pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
         .clone();
     let n = args.f64_or("n", 8.0)? as u32;
     let seed = args.f64_or("seed", 3.0)? as u64;
-    let trace = run_traced_workload(&workload, n, seed)?;
+    let threads = args.f64_or("threads", 1.0)? as usize;
+    let trace = run_traced_workload(&workload, n, seed, threads)?;
     let snapshot = ipso_obs::snapshot();
     ipso_obs::set_enabled(false);
     let mut text = String::new();
@@ -576,8 +592,8 @@ USAGE:
   ipso provision <runs.csv> [--window 16] [--n-max 200]
                  [--worker-cost 0.10] [--master-cost 0.80] [--deadline SECS]
   ipso report    <runs.csv> [--window 16] [--n-max 200] [--fixed-size]
-  ipso trace     <workload> [--n 8] [--seed 3] --out run.trace.json
-  ipso metrics   <workload> [--n 8] [--seed 3]
+  ipso trace     <workload> [--n 8] [--seed 3] [--threads 1] --out run.trace.json
+  ipso metrics   <workload> [--n 8] [--seed 3] [--threads 1]
 
 FILES:
   curve.csv : n,speedup
@@ -586,6 +602,8 @@ FILES:
 WORKLOADS (trace / metrics): terasort, sort, wordcount
   trace   writes a Chrome trace-event (Perfetto) timeline of the run
   metrics prints the metrics-registry snapshot and overhead breakdown
+  --threads sets the host-side map wave width (0 = all hardware
+  threads); outputs and traces are identical for any value
 "
 }
 

@@ -113,7 +113,7 @@ fn outputs_are_correct_across_the_sweep() {
     let wc_splits = wordcount::make_splits(4, 5);
     let wc = ipso_mapreduce::run_sequential(
         &wordcount::job_spec(4),
-        &wordcount::WordCountMapper,
+        &wordcount::WordCountMapper::new(),
         &wordcount::WordCountReducer,
         &wc_splits,
     );
