@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_stragglers",
     "ablation_memory",
     "ablation_shuffle_pipelining",
+    "ablation_faults",
     "sensitivity_analysis",
 ];
 

@@ -1,0 +1,93 @@
+//! Determinism under fault injection, end to end: a faulted engine
+//! sweep through [`SweepRunner`] is bit-identical for any `--jobs`
+//! value and any engine thread count, and a spec that merely *spells
+//! out* the disabled fault model reproduces the stock trace exactly.
+//! These are the properties the `ablation_faults` CSV and
+//! `BENCH_faults.json` regression record rest on.
+
+use ipso_bench::SweepRunner;
+use ipso_cluster::{FaultModel, JobTrace, RecoveryPolicy};
+use ipso_mapreduce::try_run_scale_out;
+use ipso_workloads::sort;
+use proptest::prelude::*;
+
+/// One faulted Sort run per grid point; the whole trace is the result,
+/// so any divergence — durations, overhead, recovery events — fails the
+/// bitwise comparison.
+fn faulted_sweep(jobs: usize, fail_prob: f64, threads: usize, ns: &[u32]) -> Vec<JobTrace> {
+    SweepRunner::new(jobs)
+        .map(ns.to_vec(), |_ctx, n| {
+            let mut spec = sort::job_spec(n);
+            let mut faults = FaultModel::flaky(fail_prob);
+            faults.node_crash_prob = fail_prob / 10.0;
+            spec.faults = faults;
+            spec.recovery = RecoveryPolicy::hadoop_like().with_speculation();
+            spec.recovery.max_attempts = 12;
+            spec.engine.threads = threads;
+            try_run_scale_out(
+                &spec,
+                &sort::SortMapper,
+                &sort::SortReducer,
+                &sort::make_splits(n, 2),
+            )
+            .expect("recoverable under 12 attempts")
+            .trace
+        })
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bit-for-bit equality between the sequential runner and every
+    /// tested worker count, with faults active, for arbitrary failure
+    /// rates and grids.
+    #[test]
+    fn faulted_sweep_is_identical_for_any_jobs(
+        jobs in 2usize..7,
+        fail_prob in 0.01f64..0.3,
+        ns in prop::collection::vec(1u32..24, 1..6),
+    ) {
+        let sequential = faulted_sweep(1, fail_prob, 0, &ns);
+        let parallel = faulted_sweep(jobs, fail_prob, 0, &ns);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// The engine's own map-execution thread count never leaks into a
+    /// faulted trace: fault resolution happens on the sequential
+    /// simulation clock, not on the host threads.
+    #[test]
+    fn faulted_traces_are_engine_thread_invariant(
+        fail_prob in 0.01f64..0.3,
+        threads in 1usize..6,
+    ) {
+        let ns = [3u32, 7];
+        let baseline = faulted_sweep(1, fail_prob, 0, &ns);
+        prop_assert_eq!(faulted_sweep(1, fail_prob, threads, &ns), baseline);
+    }
+}
+
+/// Spelling out the disabled fault model must be a no-op: the stock
+/// spec and an explicit `FaultModel::none()` spec produce identical
+/// traces (zero fault RNG draws), so a fault-free build of this PR
+/// reproduces every pre-PR artifact byte for byte.
+#[test]
+fn disabled_faults_reproduce_the_stock_traces() {
+    for n in [1u32, 4, 16] {
+        let stock = sort::sweep(&[n]);
+        let explicit = {
+            let mut spec = sort::job_spec(n);
+            spec.faults = FaultModel::none();
+            spec.recovery = RecoveryPolicy::hadoop_like().with_speculation();
+            try_run_scale_out(
+                &spec,
+                &sort::SortMapper,
+                &sort::SortReducer,
+                &sort::make_splits(n, 2),
+            )
+            .expect("fault-free run cannot fail")
+        };
+        assert_eq!(explicit.trace, stock.points[0].par, "n = {n}");
+        assert!(explicit.trace.faults.is_none(), "n = {n}");
+    }
+}

@@ -17,13 +17,19 @@
 //!   (the TeraSort `IN(n)` burst of paper Fig. 5);
 //! * [`straggler`] — task-time noise models (barrier synchronization makes
 //!   the slowest task the one that matters);
+//! * [`fault`] — fault injection (task failures, correlated node crashes)
+//!   and recovery (retry with backoff, speculation, lineage recompute
+//!   accounting) — re-executed work is charged into `Wo(n)`;
 //! * [`exec`] — wave scheduling of task sets over executor pools;
-//! * [`metrics`] — phase breakdowns and task traces shared by the engines.
+//! * [`metrics`] — phase breakdowns and task traces shared by the engines;
+//! * [`error`] — the typed [`ClusterError`] these models reject with.
 //!
 //! All randomness flows through [`ipso_sim::SimRng`] seeds, so every
 //! simulated experiment is reproducible.
 
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod network;
@@ -31,7 +37,12 @@ pub mod scheduler;
 pub mod spec;
 pub mod straggler;
 
+pub use error::ClusterError;
 pub use exec::{run_wave_schedule, uniform_wave_makespan, EngineOptions, TaskSchedule};
+pub use fault::{
+    resolve_faults, FaultModel, FaultOutcome, FaultSummary, RecoveryEvent, RecoveryEventKind,
+    RecoveryPolicy, TimeToFailure,
+};
 pub use memory::MemoryModel;
 pub use metrics::{JobTrace, PhaseTimes, RunConfig, TaskRecord};
 pub use network::NetworkModel;

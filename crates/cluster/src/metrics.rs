@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultSummary;
 use crate::scheduler::CentralScheduler;
 use crate::straggler::StragglerModel;
 
@@ -86,6 +87,13 @@ pub struct JobTrace {
     /// deserialize.
     #[serde(default)]
     pub config: Option<RunConfig>,
+    /// Fault-injection and recovery accounting, recorded only when the
+    /// run's fault model was enabled. Defaults to `None` so traces
+    /// serialized before this field existed still deserialize — and so
+    /// fault-free runs serialize `"faults":null`, keeping their traces
+    /// stable as the fault layer evolves.
+    #[serde(default)]
+    pub faults: Option<FaultSummary>,
 }
 
 impl JobTrace {
@@ -121,7 +129,11 @@ impl JobTrace {
     ///
     /// * all phase times and the scale-out overhead are finite and ≥ 0;
     /// * task records are in task-id order with finite `0 ≤ start ≤ end`;
-    /// * when task records exist, the map phase equals the slowest task.
+    /// * when task records exist, the map phase equals the slowest task;
+    /// * a recorded fault summary satisfies its own invariants, its events
+    ///   reference existing tasks, and its wasted work is bounded by the
+    ///   recorded scale-out overhead (the engines charge wasted work into
+    ///   `Wo`).
     ///
     /// # Errors
     ///
@@ -156,6 +168,27 @@ impl JobTrace {
                 return Err(format!(
                     "map phase {} disagrees with slowest task {max}",
                     self.phases.map
+                ));
+            }
+        }
+        if let Some(faults) = &self.faults {
+            faults.check_invariants()?;
+            if !self.tasks.is_empty() {
+                for e in &faults.events {
+                    if e.task as usize >= self.tasks.len() {
+                        return Err(format!(
+                            "fault event references task {} of {}",
+                            e.task,
+                            self.tasks.len()
+                        ));
+                    }
+                }
+            }
+            if faults.wasted_total() > self.scale_out_overhead + 1e-9 {
+                return Err(format!(
+                    "wasted work {} exceeds recorded scale-out overhead {}",
+                    faults.wasted_total(),
+                    self.scale_out_overhead
                 ));
             }
         }
@@ -204,6 +237,7 @@ mod tests {
                 straggler: StragglerModel::mild(),
                 seed: 42,
             }),
+            faults: None,
         }
     }
 
@@ -309,6 +343,55 @@ mod tests {
         let mut t = trace();
         t.phases.map = 99.0; // disagrees with slowest task (10 s)
         assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn fault_summary_invariants_are_enforced() {
+        use crate::fault::{FaultSummary, RecoveryEvent, RecoveryEventKind};
+        let mut t = trace();
+        t.scale_out_overhead = 5.0;
+        t.faults = Some(FaultSummary {
+            attempts: 4,
+            retries: 1,
+            retry_wasted_s: 2.0,
+            events: vec![RecoveryEvent {
+                task: 1,
+                kind: RecoveryEventKind::AttemptFailed {
+                    attempt: 1,
+                    lost_s: 2.0,
+                    backoff_s: 0.3,
+                },
+            }],
+            ..FaultSummary::default()
+        });
+        assert_eq!(t.check_invariants(), Ok(()));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: JobTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+
+        // Wasted work beyond the recorded overhead is corruption: the
+        // engines always charge it into Wo.
+        t.faults.as_mut().unwrap().retry_wasted_s = 50.0;
+        assert!(t.check_invariants().is_err());
+
+        // As is an event pointing at a task that does not exist.
+        let mut t2 = trace();
+        t2.scale_out_overhead = 5.0;
+        t2.faults = Some(FaultSummary {
+            events: vec![RecoveryEvent {
+                task: 99,
+                kind: RecoveryEventKind::OutputLost {
+                    node: 0,
+                    recompute_s: 0.1,
+                },
+            }],
+            crash_wasted_s: 0.1,
+            outputs_lost: 1,
+            node_crashes: 1,
+            attempts: 4,
+            ..FaultSummary::default()
+        });
+        assert!(t2.check_invariants().is_err());
     }
 
     #[test]

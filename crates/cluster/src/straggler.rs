@@ -8,6 +8,8 @@
 use ipso_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ClusterError;
+
 /// Multiplicative task-time noise.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StragglerModel {
@@ -36,6 +38,29 @@ impl StragglerModel {
     /// The mild default used for the MapReduce case studies: ±5% jitter.
     pub fn mild() -> StragglerModel {
         StragglerModel::Uniform { spread: 0.05 }
+    }
+
+    /// A validated Pareto model. The variant's `shape` must exceed 1 —
+    /// at `shape <= 1` the multiplier's mean diverges, which breaks
+    /// [`StragglerModel::mean_multiplier`] calibration and every
+    /// expectation built on it — so construction through this boundary
+    /// rejects the parameter up front instead of letting a bad value
+    /// surface later as a nonsensical negative mean or infinite
+    /// expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] unless
+    /// `shape` is finite and `> 1`.
+    pub fn pareto(shape: f64) -> Result<StragglerModel, ClusterError> {
+        let model = StragglerModel::Pareto { shape };
+        model
+            .validate()
+            .map_err(|message| ClusterError::InvalidParameter {
+                what: "pareto shape",
+                message,
+            })?;
+        Ok(model)
     }
 
     /// Multiplier threshold above which a draw counts as a severe
@@ -156,6 +181,27 @@ mod tests {
             .validate()
             .is_err());
         assert!(StragglerModel::Pareto { shape: 1.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn pareto_constructor_validates_the_shape() {
+        assert_eq!(
+            StragglerModel::pareto(2.5),
+            Ok(StragglerModel::Pareto { shape: 2.5 })
+        );
+        for bad in [1.0, 0.5, -2.0, f64::NAN, f64::INFINITY] {
+            let err = StragglerModel::pareto(bad).expect_err("shape must exceed 1");
+            assert!(
+                matches!(
+                    err,
+                    crate::ClusterError::InvalidParameter {
+                        what: "pareto shape",
+                        ..
+                    }
+                ),
+                "unexpected error for shape {bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Job configuration.
 
 use ipso_cluster::{
-    CentralScheduler, ClusterSpec, EngineOptions, MemoryModel, NetworkModel, StragglerModel,
+    CentralScheduler, ClusterSpec, EngineOptions, FaultModel, MemoryModel, NetworkModel,
+    RecoveryPolicy, StragglerModel,
 };
 
 use crate::cost::JobCostModel;
@@ -63,6 +64,13 @@ pub struct JobSpec {
     pub engine: EngineOptions,
     /// Shuffle/grouping implementation of the data path.
     pub shuffle: ShuffleImpl,
+    /// Fault injection model. Disabled by default; when disabled the run
+    /// consumes zero extra RNG draws, so traces match fault-free builds
+    /// byte for byte.
+    pub faults: FaultModel,
+    /// Recovery policy applied when faults fire: retry with capped
+    /// exponential backoff, optional speculation, fail-fast budget.
+    pub recovery: RecoveryPolicy,
     /// RNG seed: identical specs produce identical traces.
     pub seed: u64,
 }
@@ -83,6 +91,8 @@ impl JobSpec {
             pipelined_shuffle: false,
             engine: EngineOptions::default(),
             shuffle: ShuffleImpl::default(),
+            faults: FaultModel::none(),
+            recovery: RecoveryPolicy::hadoop_like(),
             seed: 42,
         }
     }
@@ -97,6 +107,8 @@ impl JobSpec {
         self.scheduler.validate()?;
         self.reducer_memory.validate()?;
         self.straggler.validate()?;
+        self.faults.validate().map_err(|e| e.to_string())?;
+        self.recovery.validate().map_err(|e| e.to_string())?;
         self.cost.validate()
     }
 }
@@ -120,5 +132,16 @@ mod tests {
     #[test]
     fn spec_is_deterministic_by_construction() {
         assert_eq!(JobSpec::emr("a", 4), JobSpec::emr("a", 4));
+    }
+
+    #[test]
+    fn invalid_fault_or_recovery_settings_fail_validation() {
+        let mut spec = JobSpec::emr("x", 1);
+        spec.faults.task_fail_prob = 1.5;
+        assert!(spec.validate().is_err());
+
+        let mut spec = JobSpec::emr("x", 1);
+        spec.recovery.max_attempts = 0;
+        assert!(spec.validate().is_err());
     }
 }

@@ -37,7 +37,10 @@
 
 use std::collections::{BTreeMap, BinaryHeap};
 
-use ipso_cluster::{run_wave_schedule, JobTrace, PhaseTimes, RunConfig, StragglerModel};
+use ipso_cluster::{
+    resolve_faults, run_wave_schedule, ClusterError, FaultOutcome, JobTrace, PhaseTimes, RunConfig,
+    StragglerModel,
+};
 use ipso_sim::SimRng;
 
 use crate::api::{Mapper, OutputScaling, Reducer};
@@ -321,19 +324,61 @@ where
 /// * `phases.shuffle/merge/reduce` — the serial merging portion, with the
 ///   shuffle paying the network incast penalty and the merge paying the
 ///   memory spill multiplier;
-/// * `scale_out_overhead` — job setup, dispatch serialization and barrier
-///   skew beyond the slowest task: the measured `Wo(n)`.
+/// * `scale_out_overhead` — job setup, dispatch serialization, barrier
+///   skew beyond the slowest task, and (with faults enabled) wasted
+///   recovery work: the measured `Wo(n)`.
 ///
 /// # Panics
 ///
 /// Panics if `splits` is empty, the split count exceeds the cluster's
-/// slots, or the spec fails validation.
+/// slots, the spec fails validation, or — with faults enabled — the run
+/// hits an unrecoverable fault ([`try_run_scale_out`] returns those as
+/// typed errors instead).
 pub fn run_scale_out<M, R>(
     spec: &JobSpec,
     mapper: &M,
     reducer: &R,
     splits: &[InputSplit<M::Input>],
 ) -> JobRun<R::Output>
+where
+    M: Mapper + Sync,
+    M::Input: Sync,
+    M::Key: Send,
+    M::Value: Send,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+{
+    try_run_scale_out(spec, mapper, reducer, splits)
+        .unwrap_or_else(|e| panic!("unrecoverable fault: {e}"))
+}
+
+/// [`run_scale_out`] with fault-recovery failures surfaced as typed
+/// errors: retries exhausted or the fail-fast wasted-work budget blown
+/// ([`ClusterError`]). With the default (disabled) fault model this
+/// never errs.
+///
+/// When the fault model is enabled, nominal task durations are passed
+/// through [`resolve_faults`] before scheduling: recovery latency
+/// (failed attempts, restarts, backoff, crash recomputation) lengthens
+/// the affected tasks on the schedule, and the wasted *work* is charged
+/// into `scale_out_overhead` — the paper's `Wo(n)` attribution for
+/// fault tolerance. The resulting [`ipso_cluster::FaultSummary`] is
+/// recorded on the trace.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::RetriesExhausted`] or
+/// [`ClusterError::WastedWorkExceeded`] from fault resolution.
+///
+/// # Panics
+///
+/// Panics if `splits` is empty, the split count exceeds the cluster's
+/// slots, or the spec fails validation.
+pub fn try_run_scale_out<M, R>(
+    spec: &JobSpec,
+    mapper: &M,
+    reducer: &R,
+    splits: &[InputSplit<M::Input>],
+) -> Result<JobRun<R::Output>, ClusterError>
 where
     M: Mapper + Sync,
     M::Input: Sync,
@@ -361,7 +406,29 @@ where
         .iter()
         .map(|s| spec.cost.map_time(s.nominal_bytes) * spec.straggler.multiplier(&mut rng))
         .collect();
-    let schedule = run_wave_schedule(&durations, slots.min(splits.len()), &spec.scheduler);
+
+    // Fault resolution: recovery latency lengthens the affected tasks
+    // before scheduling; wasted work is charged into Wo below. Disabled
+    // (the default) consumes zero RNG draws, keeping the straggler
+    // stream — and therefore every output byte — identical to a
+    // fault-free build.
+    let executors = slots.min(splits.len());
+    let fault_outcome: Option<FaultOutcome> = if spec.faults.enabled() {
+        Some(resolve_faults(
+            &durations,
+            executors,
+            &spec.faults,
+            &spec.recovery,
+            &mut rng,
+        )?)
+    } else {
+        None
+    };
+    let effective: &[f64] = fault_outcome
+        .as_ref()
+        .map_or(&durations, |o| o.durations.as_slice());
+
+    let schedule = run_wave_schedule(effective, executors, &spec.scheduler);
     let max_task = schedule.max_task_duration();
 
     // Serial merging portion. The shuffle is charged at the reducer's
@@ -394,21 +461,28 @@ where
     let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
 
     // Scale-out-only overheads: extra job setup versus the sequential
-    // environment, plus the dispatch-induced stretch of the split phase.
+    // environment, the dispatch-induced stretch of the split phase, and
+    // the work burned by fault recovery (the latency of recovery is
+    // already inside the schedule; the *wasted work* is scale-out-induced
+    // workload, since the sequential reference never re-executes).
     let setup_extra = (spec.scheduler.job_setup - spec.cost.seq_init).max(0.0);
     let barrier_stretch = (schedule.makespan - max_task).max(0.0);
+    let wasted = fault_outcome
+        .as_ref()
+        .map_or(0.0, |o| o.summary.wasted_total());
 
     if ipso_obs::enabled() {
         record_scale_out_trace(
             spec,
             splits,
-            &durations,
+            effective,
             &schedule,
             total_intermediate,
             shuffle,
             merge,
             reduce,
             setup_extra + barrier_stretch,
+            fault_outcome.as_ref(),
         );
     }
 
@@ -423,18 +497,19 @@ where
             reduce,
         },
         tasks: schedule.records,
-        scale_out_overhead: setup_extra + barrier_stretch,
+        scale_out_overhead: setup_extra + barrier_stretch + wasted,
         config: Some(RunConfig {
             scheduler: spec.scheduler,
             straggler: spec.straggler,
             seed: spec.seed,
         }),
+        faults: fault_outcome.map(|o| o.summary),
     };
-    JobRun {
+    Ok(JobRun {
         trace,
         output,
         reduce_input_bytes,
-    }
+    })
 }
 
 /// Emits the scale-out run's timeline and metrics into `ipso_obs`.
@@ -443,7 +518,8 @@ where
 /// phase (and its per-executor task spans) right after it, and the
 /// serial shuffle/merge/reduce phases behind the barrier. Tasks whose
 /// straggler multiplier reached the severe threshold get an instant
-/// marker on their executor's track.
+/// marker on their executor's track, and each recovery event (retry,
+/// lost output, speculative copy) an instant at its task's finish.
 #[allow(clippy::too_many_arguments)]
 fn record_scale_out_trace<I>(
     spec: &JobSpec,
@@ -455,6 +531,7 @@ fn record_scale_out_trace<I>(
     merge: f64,
     reduce: f64,
     overhead: f64,
+    faults: Option<&FaultOutcome>,
 ) {
     let t0 = spec.cost.seq_init;
     ipso_obs::record_span("driver", "init", "mapreduce", 0.0, t0);
@@ -489,6 +566,18 @@ fn record_scale_out_trace<I>(
         barrier + shuffle + merge,
         barrier + shuffle + merge + reduce,
     );
+    if let Some(outcome) = faults {
+        for event in &outcome.summary.events {
+            let record = &schedule.records[event.task as usize];
+            let track = format!("executor-{}", record.executor);
+            let name = match event.kind {
+                ipso_cluster::RecoveryEventKind::AttemptFailed { .. } => "task-retry",
+                ipso_cluster::RecoveryEventKind::OutputLost { .. } => "output-lost",
+                ipso_cluster::RecoveryEventKind::Speculated { .. } => "speculative-copy",
+            };
+            ipso_obs::record_instant(&track, name, "mapreduce", t0 + record.end);
+        }
+    }
     ipso_obs::counter_add("mapreduce.jobs", 1);
     ipso_obs::counter_add("mapreduce.tasks_launched", durations.len() as u64);
     ipso_obs::counter_add("mapreduce.shuffle_bytes", total_intermediate);
@@ -558,6 +647,7 @@ where
             straggler: spec.straggler,
             seed: spec.seed,
         }),
+        faults: None,
     };
     JobRun {
         trace,
@@ -767,6 +857,90 @@ mod tests {
             .trace
             .check_invariants()
             .unwrap();
+    }
+
+    #[test]
+    fn disabled_faults_never_touch_the_trace() {
+        let spec = JobSpec::emr("sort", 4);
+        let run = run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100));
+        assert!(run.trace.faults.is_none());
+        assert_eq!(
+            run.trace,
+            run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 100)).trace
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_charged_into_overhead() {
+        let baseline = run_scale_out(&JobSpec::emr("sort", 8), &IdMap, &IdReduce, &splits(8, 50));
+        let mut spec = JobSpec::emr("sort", 8);
+        spec.faults = ipso_cluster::FaultModel::flaky(0.3);
+        spec.recovery.max_attempts = 8;
+        let a = run_scale_out(&spec, &IdMap, &IdReduce, &splits(8, 50));
+        let b = run_scale_out(&spec, &IdMap, &IdReduce, &splits(8, 50));
+        assert_eq!(a.trace, b.trace);
+        a.trace.check_invariants().unwrap();
+        let summary = a.trace.faults.as_ref().expect("faults enabled");
+        assert!(summary.retries > 0, "p = 0.3 over 8 tasks should retry");
+        assert!(summary.wasted_total() > 0.0);
+        // Wo now carries the wasted work (plus setup and barrier terms,
+        // which the lengthened tasks reshape) and exceeds the fault-free
+        // overhead.
+        assert!(
+            a.trace.scale_out_overhead >= summary.wasted_total(),
+            "wasted recovery work must be charged into Wo"
+        );
+        assert!(a.trace.scale_out_overhead > baseline.trace.scale_out_overhead);
+        // Outputs are the real computation and never depend on injected
+        // faults — only timing does.
+        assert_eq!(a.output, baseline.output);
+    }
+
+    #[test]
+    fn fault_injection_is_thread_count_invariant() {
+        let s = splits(6, 100);
+        let mut spec = JobSpec::emr("sort", 6);
+        spec.faults = ipso_cluster::FaultModel::flaky(0.25);
+        spec.recovery.max_attempts = 8;
+        spec.recovery.speculation = true;
+        let baseline = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+        for threads in [0, 2, 5] {
+            spec.engine.threads = threads;
+            let run = run_scale_out(&spec, &IdMap, &IdReduce, &s);
+            assert_eq!(run.trace, baseline.trace, "threads = {threads}");
+            assert_eq!(run.output, baseline.output, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_a_typed_error() {
+        let mut spec = JobSpec::emr("sort", 2);
+        spec.faults = ipso_cluster::FaultModel::flaky(1.0);
+        let err = try_run_scale_out(&spec, &IdMap, &IdReduce, &splits(2, 10))
+            .expect_err("certain failure must exhaust retries");
+        assert!(matches!(
+            err,
+            ClusterError::RetriesExhausted { attempts: 4, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecoverable fault")]
+    fn panicking_wrapper_reports_unrecoverable_faults() {
+        let mut spec = JobSpec::emr("sort", 2);
+        spec.faults = ipso_cluster::FaultModel::flaky(1.0);
+        let _ = run_scale_out(&spec, &IdMap, &IdReduce, &splits(2, 10));
+    }
+
+    #[test]
+    fn fail_fast_budget_aborts_the_run() {
+        let mut spec = JobSpec::emr("sort", 4);
+        spec.faults = ipso_cluster::FaultModel::flaky(0.5);
+        spec.recovery.max_attempts = 16;
+        spec.recovery.max_wasted_fraction = 1e-6;
+        let err = try_run_scale_out(&spec, &IdMap, &IdReduce, &splits(4, 10))
+            .expect_err("tiny budget must trip fail-fast");
+        assert!(matches!(err, ClusterError::WastedWorkExceeded { .. }));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod split;
 pub use api::{Mapper, OutputScaling, Reducer, Sizeable};
 pub use config::{JobSpec, ShuffleImpl};
 pub use cost::JobCostModel;
-pub use engine::{run_scale_out, run_sequential, JobRun};
+pub use engine::{run_scale_out, run_sequential, try_run_scale_out, JobRun};
 pub use measure::{measurement_from_runs, ScalingSweep};
 pub use split::InputSplit;

@@ -137,6 +137,7 @@ mod tests {
             tasks: Vec::new(),
             scale_out_overhead: wo,
             config: None,
+            faults: None,
         }
     }
 

@@ -103,6 +103,23 @@ impl SimRng {
         -mean * u.ln()
     }
 
+    /// Weibull sample with the given shape and scale, via inversion:
+    /// `scale · (−ln U)^(1/shape)`. Shape < 1 models infant-mortality
+    /// failures (decreasing hazard), shape = 1 is exponential, shape > 1
+    /// models wear-out (increasing hazard).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shape > 0` and `scale > 0`.
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "weibull parameters must be positive"
+        );
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
     /// Pareto sample with the given scale (minimum) and shape.
     ///
     /// # Panics

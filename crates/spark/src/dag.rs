@@ -13,7 +13,7 @@
 //! broadcasts, first-wave costs, memory pressure, incast shuffles, and
 //! the same JSON event log.
 
-use ipso_cluster::{run_wave_schedule, CentralScheduler};
+use ipso_cluster::{resolve_faults, run_wave_schedule, CentralScheduler, FaultSummary};
 use ipso_sim::SimRng;
 
 use crate::engine::{SparkRun, INPUT_READ_RATE};
@@ -103,6 +103,7 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
 
     let mut clock = 0.0f64;
     let mut overhead = 0.0f64;
+    let mut fault_summaries: Vec<FaultSummary> = Vec::new();
     let mut stage_times = vec![0.0f64; spec.stages.len()];
     let mut events = vec![SparkEvent::ApplicationStart {
         app_name: spec.name.clone(),
@@ -180,6 +181,24 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
         }
 
         if !durations.is_empty() {
+            // Fault resolution over the level's interleaved task list:
+            // recovery latency lengthens the tasks, wasted work is
+            // charged as overhead. (Lineage recomputation across levels
+            // is modeled only by the sequential chain engine, where the
+            // stage-to-predecessor mapping is unambiguous.)
+            if spec.faults.enabled() {
+                let outcome = resolve_faults(
+                    &durations,
+                    m as usize,
+                    &spec.faults,
+                    &spec.recovery,
+                    &mut rng,
+                )
+                .map_err(|e| e.to_string())?;
+                durations = outcome.durations.clone();
+                overhead += outcome.summary.wasted_total();
+                fault_summaries.push(outcome.summary);
+            }
             let schedule = run_wave_schedule(&durations, m as usize, &spec.scheduler);
             let ideal_makespan =
                 run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
@@ -216,6 +235,7 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
         total_time: clock,
         stage_times,
         overhead_time: overhead,
+        fault_summaries,
         log,
     })
 }

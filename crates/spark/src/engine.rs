@@ -16,8 +16,11 @@
 //!    merging each stage's captured records in stage order so the global
 //!    observability stream is byte-identical to a sequential run.
 
-use ipso_cluster::{run_wave_schedule, uniform_wave_makespan};
-use ipso_cluster::{CentralScheduler, StragglerModel, TaskSchedule};
+use ipso_cluster::{resolve_faults, run_wave_schedule, uniform_wave_makespan};
+use ipso_cluster::{
+    CentralScheduler, ClusterError, FaultOutcome, FaultSummary, RecoveryEventKind, StragglerModel,
+    TaskSchedule,
+};
 use ipso_sim::SimRng;
 
 use crate::eventlog::{write_event_log, SparkEvent};
@@ -35,8 +38,12 @@ pub struct SparkRun {
     /// Per-stage wall-clock latencies, in DAG order.
     pub stage_times: Vec<f64>,
     /// Scale-out-induced portion: broadcasts, dispatch serialization,
-    /// first-wave deserialization, barrier skew — seconds.
+    /// first-wave deserialization, barrier skew, and — with faults
+    /// enabled — wasted recovery work and lineage recomputation, seconds.
     pub overhead_time: f64,
+    /// Per-stage fault-recovery summaries, in DAG order. Empty when the
+    /// fault model is disabled.
+    pub fault_summaries: Vec<FaultSummary>,
     /// The Spark-style JSON event log of the run.
     pub log: String,
 }
@@ -63,8 +70,11 @@ struct StagePlan {
     mem_mult: f64,
     /// Number of first-wave tasks paying the one-time executor cost.
     first_wave: usize,
-    /// Per-task durations with first-wave cost and straggler noise.
+    /// Per-task durations with first-wave cost, straggler noise and —
+    /// when faults are enabled — recovery latency.
     durations: Vec<f64>,
+    /// Fault resolution for this stage, when the model is enabled.
+    fault: Option<FaultOutcome>,
 }
 
 /// One stage's computed schedules, ready for the sequential clock walk.
@@ -98,8 +108,33 @@ struct StageSchedule {
 ///
 /// # Panics
 ///
-/// Panics if the spec fails validation.
+/// Panics if the spec fails validation or — with faults enabled — the
+/// run hits an unrecoverable fault ([`try_run_job`] returns those as
+/// typed errors instead).
 pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
+    try_run_job(spec).unwrap_or_else(|e| panic!("unrecoverable fault: {e}"))
+}
+
+/// [`run_job`] with fault-recovery failures surfaced as typed errors.
+///
+/// With `spec.faults` enabled, each stage's planned durations pass
+/// through [`resolve_faults`] (in the sequential plan phase, so the RNG
+/// stream stays byte-deterministic for any thread count): recovery
+/// latency lengthens the affected tasks, wasted work is charged into
+/// `overhead_time`, and a node crash in stage `k > 0` additionally
+/// triggers lineage recomputation of the crashed node's stage-`k−1`
+/// partitions — Spark's RDD recovery — charged as both clock time and
+/// overhead.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::RetriesExhausted`] or
+/// [`ClusterError::WastedWorkExceeded`] from any stage's resolution.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation.
+pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
     spec.validate().expect("invalid spark job spec");
     let m = spec.parallelism;
     let mut rng =
@@ -108,47 +143,64 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
     // Phase 1 — plan. All RNG consumption happens here, sequentially in
     // stage order, so the straggler stream is independent of how the
     // schedules are later computed.
-    let plans: Vec<StagePlan> = spec
-        .stages
-        .iter()
-        .map(|stage| {
-            let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
+    let mut plans: Vec<StagePlan> = Vec::with_capacity(spec.stages.len());
+    for stage in &spec.stages {
+        let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
 
-            // Memory pressure: tasks per executor × cached partition size.
-            let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
-            let working_set = if stage.caches_input {
-                (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
-            } else {
-                stage.input_bytes_per_task
-            };
-            let mem_mult = if working_set > spec.executor_memory {
-                spec.spill_slowdown
-            } else {
-                1.0
-            };
+        // Memory pressure: tasks per executor × cached partition size.
+        let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
+        let working_set = if stage.caches_input {
+            (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
+        } else {
+            stage.input_bytes_per_task
+        };
+        let mem_mult = if working_set > spec.executor_memory {
+            spec.spill_slowdown
+        } else {
+            1.0
+        };
 
-            // Task durations with first-wave cost and straggler noise.
-            let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
-            let first_wave = m.min(stage.tasks) as usize;
-            let durations: Vec<f64> = (0..stage.tasks as usize)
-                .map(|i| {
-                    let fw = if i < first_wave {
-                        spec.first_wave_cost
-                    } else {
-                        0.0
-                    };
-                    base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
-                })
-                .collect();
-            StagePlan {
-                broadcast,
-                base,
-                mem_mult,
-                first_wave,
-                durations,
-            }
-        })
-        .collect();
+        // Task durations with first-wave cost and straggler noise.
+        let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
+        let first_wave = m.min(stage.tasks) as usize;
+        let durations: Vec<f64> = (0..stage.tasks as usize)
+            .map(|i| {
+                let fw = if i < first_wave {
+                    spec.first_wave_cost
+                } else {
+                    0.0
+                };
+                base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
+            })
+            .collect();
+
+        // Fault resolution per stage: recovery latency lengthens the
+        // tasks that get rescheduled below. Disabled (the default)
+        // consumes zero RNG draws.
+        let fault: Option<FaultOutcome> = if spec.faults.enabled() {
+            Some(resolve_faults(
+                &durations,
+                m as usize,
+                &spec.faults,
+                &spec.recovery,
+                &mut rng,
+            )?)
+        } else {
+            None
+        };
+        let durations = match &fault {
+            Some(outcome) => outcome.durations.clone(),
+            None => durations,
+        };
+        plans.push(StagePlan {
+            broadcast,
+            base,
+            mem_mult,
+            first_wave,
+            durations,
+            fault,
+        });
+    }
 
     // Phase 2 — schedule, as a parallel wave over stages. Each worker
     // captures its observability records thread-locally; they are merged
@@ -271,7 +323,61 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
                 }
             }
         }
+        if let Some(outcome) = &plan.fault {
+            if ipso_obs::enabled() {
+                for event in &outcome.summary.events {
+                    let record = &schedule.records[event.task as usize];
+                    let track = format!("executor-{}", record.executor);
+                    let name = match event.kind {
+                        RecoveryEventKind::AttemptFailed { .. } => "task-retry",
+                        RecoveryEventKind::OutputLost { .. } => "output-lost",
+                        RecoveryEventKind::Speculated { .. } => "speculative-copy",
+                    };
+                    ipso_obs::record_instant(&track, name, "spark", clock + record.end);
+                }
+            }
+        }
         clock += schedule.makespan;
+
+        // Fault recovery accounting. The recovery *latency* is already in
+        // the lengthened task durations above; the re-executed *work* is
+        // scale-out-induced workload (the sequential reference never
+        // re-executes), so it is charged into the overhead share.
+        if let Some(outcome) = &plan.fault {
+            overhead += outcome.summary.wasted_total();
+
+            // Lineage recomputation: a node crash in stage k > 0 also
+            // loses the node's resident stage-(k−1) partitions, which
+            // must be recomputed from lineage before this stage's shuffle
+            // can complete. Crashed nodes recompute in parallel, so the
+            // clock pays the slowest node while Wo pays the total work.
+            if stage_id > 0 && !outcome.crashed_nodes.is_empty() {
+                let prev = &plans[stage_id - 1].durations;
+                let mut recompute_work = 0.0f64;
+                let mut recompute_makespan = 0.0f64;
+                for &node in &outcome.crashed_nodes {
+                    let node_work: f64 = prev.iter().skip(node as usize).step_by(m as usize).sum();
+                    recompute_work += node_work;
+                    recompute_makespan = recompute_makespan.max(node_work);
+                }
+                if ipso_obs::enabled() && recompute_makespan > 0.0 {
+                    ipso_obs::record_span(
+                        "driver",
+                        &format!("lineage-recompute-{}", stage.name),
+                        "spark",
+                        clock,
+                        clock + recompute_makespan,
+                    );
+                    ipso_obs::counter_add(
+                        "spark.lineage_recomputes",
+                        outcome.crashed_nodes.len() as u64,
+                    );
+                    ipso_obs::gauge_add("overhead.lineage_recompute_s", recompute_work);
+                }
+                clock += recompute_makespan;
+                overhead += recompute_work;
+            }
+        }
 
         // 4. Shuffle boundary: each of the m receivers pulls total/m bytes
         // at incast-degraded goodput.
@@ -309,12 +415,17 @@ pub fn run_job(spec: &SparkJobSpec) -> SparkRun {
 
     events.push(SparkEvent::ApplicationEnd { timestamp: clock });
     let log = write_event_log(&events).expect("event log serialization cannot fail");
-    SparkRun {
+    let fault_summaries: Vec<FaultSummary> = plans
+        .into_iter()
+        .filter_map(|p| p.fault.map(|o| o.summary))
+        .collect();
+    Ok(SparkRun {
         total_time: clock,
         stage_times,
         overhead_time: overhead,
+        fault_summaries,
         log,
-    }
+    })
 }
 
 /// The sequential execution reference (speedup numerator): the whole
@@ -523,6 +634,76 @@ mod tests {
         static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         LOCK.lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_faults_leave_runs_untouched() {
+        let job = multi_stage_job();
+        let run = run_job(&job);
+        assert!(run.fault_summaries.is_empty());
+        assert_eq!(run, run_job(&job));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_grows_overhead() {
+        let baseline = run_job(&multi_stage_job());
+        let mut job = multi_stage_job();
+        job.faults = ipso_cluster::FaultModel::flaky(0.3);
+        job.recovery.max_attempts = 8;
+        let a = run_job(&job);
+        let b = run_job(&job);
+        assert_eq!(a, b);
+        assert_eq!(a.fault_summaries.len(), job.stages.len());
+        let wasted: f64 = a.fault_summaries.iter().map(|s| s.wasted_total()).sum();
+        assert!(wasted > 0.0, "p = 0.3 over 72 tasks must waste work");
+        assert!(a.overhead_time >= baseline.overhead_time + wasted - 1e-9);
+        assert!(a.total_time > baseline.total_time);
+    }
+
+    #[test]
+    fn node_crash_in_a_later_stage_triggers_lineage_recompute() {
+        let mut job = multi_stage_job();
+        job.faults = ipso_cluster::FaultModel {
+            node_crash_prob: 1.0,
+            ..ipso_cluster::FaultModel::none()
+        };
+        let crash = run_job(&job);
+        // Every node crashes in every stage: stages 1 and 2 must replay
+        // their predecessors' partitions from lineage on top of the
+        // directly lost outputs.
+        let crash_wasted: f64 = crash.fault_summaries.iter().map(|s| s.wasted_total()).sum();
+        assert!(
+            crash.overhead_time > crash_wasted,
+            "lineage recompute work must be charged beyond the per-stage waste: {} <= {}",
+            crash.overhead_time,
+            crash_wasted
+        );
+        let baseline = run_job(&multi_stage_job());
+        assert!(crash.total_time > baseline.total_time);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_a_typed_error() {
+        let mut job = multi_stage_job();
+        job.faults = ipso_cluster::FaultModel::flaky(1.0);
+        let err = try_run_job(&job).expect_err("certain failure must exhaust retries");
+        assert!(matches!(
+            err,
+            ClusterError::RetriesExhausted { attempts: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn fault_injection_is_thread_count_invariant() {
+        let mut job = multi_stage_job();
+        job.faults = ipso_cluster::FaultModel::flaky(0.25);
+        job.recovery.max_attempts = 8;
+        job.recovery.speculation = true;
+        let baseline = run_job(&job);
+        for threads in [0, 2, 4] {
+            job.engine.threads = threads;
+            assert_eq!(run_job(&job), baseline, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Spark job configuration.
 
-use ipso_cluster::{CentralScheduler, ClusterSpec, EngineOptions, NetworkModel, StragglerModel};
+use ipso_cluster::{
+    CentralScheduler, ClusterSpec, EngineOptions, FaultModel, NetworkModel, RecoveryPolicy,
+    StragglerModel,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::stage::StageSpec;
@@ -47,6 +50,18 @@ pub struct SparkJobSpec {
     /// before this field existed still deserialize.
     #[serde(default)]
     pub engine: EngineOptions,
+    /// Fault injection model, applied per stage. Disabled by default;
+    /// when disabled each stage consumes zero extra RNG draws, so event
+    /// logs match fault-free builds byte for byte. Defaults keep specs
+    /// serialized before this field existed deserializable.
+    #[serde(default)]
+    pub faults: FaultModel,
+    /// Recovery policy: retry with capped exponential backoff, optional
+    /// speculation, fail-fast budget. Node crashes in stage `k > 0`
+    /// additionally trigger lineage recomputation of the crashed node's
+    /// stage-`k−1` partitions.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -70,6 +85,8 @@ impl SparkJobSpec {
             first_wave_cost: 0.35,
             executor_launch_cost: 0.09,
             engine: EngineOptions::default(),
+            faults: FaultModel::none(),
+            recovery: RecoveryPolicy::hadoop_like(),
             seed: 42,
         }
     }
@@ -116,6 +133,8 @@ impl SparkJobSpec {
         self.cluster.validate()?;
         self.scheduler.validate()?;
         self.straggler.validate()?;
+        self.faults.validate().map_err(|e| e.to_string())?;
+        self.recovery.validate().map_err(|e| e.to_string())?;
         for s in &self.stages {
             s.validate()?;
         }

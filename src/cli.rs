@@ -433,66 +433,108 @@ pub fn cmd_report(args: &Args, csv: &str) -> Result<String, CliError> {
 /// Workloads runnable by `ipso trace` / `ipso metrics`.
 const TRACEABLE_WORKLOADS: &str = "terasort, sort, wordcount";
 
+/// Fault-injection settings shared by `trace` and `metrics`, parsed
+/// from `--fail-prob`, `--node-crash-prob`, `--max-attempts`,
+/// `--speculate` and `--fail-fast`. All default to off, which keeps the
+/// run byte-identical to a fault-free build.
+fn parse_fault_flags(
+    args: &Args,
+) -> Result<(ipso_cluster::FaultModel, ipso_cluster::RecoveryPolicy), CliError> {
+    let fail_prob = args.f64_or("fail-prob", 0.0)?;
+    let mut faults = if fail_prob > 0.0 {
+        ipso_cluster::FaultModel::flaky(fail_prob)
+    } else {
+        ipso_cluster::FaultModel::none()
+    };
+    faults.node_crash_prob = args.f64_or("node-crash-prob", 0.0)?;
+    let mut recovery = ipso_cluster::RecoveryPolicy::hadoop_like();
+    recovery.max_attempts = args.f64_or("max-attempts", 4.0)? as u32;
+    recovery.speculation = args.flags.contains_key("speculate");
+    recovery.max_wasted_fraction = args.f64_or("fail-fast", 0.0)?;
+    faults.validate().map_err(|e| CliError(e.to_string()))?;
+    recovery.validate().map_err(|e| CliError(e.to_string()))?;
+    Ok((faults, recovery))
+}
+
 /// Runs one named workload at scale-out degree `n` with the
 /// observability layer enabled and returns its job trace; the global
 /// span buffer and metrics registry hold the instrumentation afterwards.
 /// `threads` sets the host-side map wave width (`0` = all hardware
 /// threads, `1` = sequential); outputs and traces are identical for any
-/// value.
+/// value. Unrecoverable faults (retries exhausted, fail-fast budget
+/// blown) surface as errors — and a non-zero process exit — after
+/// resetting the observability layer.
 fn run_traced_workload(
     name: &str,
     n: u32,
     seed: u64,
     threads: usize,
+    args: &Args,
 ) -> Result<ipso_cluster::JobTrace, CliError> {
-    use ipso_mapreduce::run_scale_out;
+    use ipso_mapreduce::try_run_scale_out;
     use ipso_workloads::{sort, terasort, wordcount};
     if n == 0 {
         return Err(CliError("flag --n must be at least 1".into()));
     }
+    let (faults, recovery) = parse_fault_flags(args)?;
     ipso_obs::set_enabled(true);
     ipso_obs::reset();
-    let trace = match name {
+    let run = match name {
         "terasort" => {
             let mut spec = terasort::job_spec(n);
             spec.engine.threads = threads;
-            run_scale_out(
+            spec.faults = faults;
+            spec.recovery = recovery;
+            try_run_scale_out(
                 &spec,
                 &terasort::TeraSortMapper,
                 &terasort::TeraSortReducer,
                 &terasort::make_splits(n, seed),
             )
-            .trace
+            .map(|run| run.trace)
         }
         "sort" => {
             let mut spec = sort::job_spec(n);
             spec.engine.threads = threads;
-            run_scale_out(
+            spec.faults = faults;
+            spec.recovery = recovery;
+            try_run_scale_out(
                 &spec,
                 &sort::SortMapper,
                 &sort::SortReducer,
                 &sort::make_splits(n, seed),
             )
-            .trace
+            .map(|run| run.trace)
         }
         "wordcount" => {
             let mut spec = wordcount::job_spec(n);
             spec.engine.threads = threads;
-            run_scale_out(
+            spec.faults = faults;
+            spec.recovery = recovery;
+            try_run_scale_out(
                 &spec,
                 &wordcount::WordCountMapper::new(),
                 &wordcount::WordCountReducer,
                 &wordcount::make_splits(n, seed),
             )
-            .trace
+            .map(|run| run.trace)
         }
         other => {
+            ipso_obs::set_enabled(false);
+            ipso_obs::reset();
             return Err(CliError(format!(
                 "unknown workload {other:?} (expected one of: {TRACEABLE_WORKLOADS})"
-            )))
+            )));
         }
     };
-    Ok(trace)
+    match run {
+        Ok(trace) => Ok(trace),
+        Err(e) => {
+            ipso_obs::set_enabled(false);
+            ipso_obs::reset();
+            Err(CliError(format!("{name} run aborted: {e}")))
+        }
+    }
 }
 
 /// Assembles the overhead breakdown from the engines' overhead gauges,
@@ -528,7 +570,7 @@ pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
         .filter(|p| !p.is_empty())
         .ok_or_else(|| CliError("missing required flag --out FILE".into()))?
         .clone();
-    let trace = run_traced_workload(&workload, n, seed, threads)?;
+    let trace = run_traced_workload(&workload, n, seed, threads, args)?;
     let events = ipso_obs::take_events();
     ipso_obs::set_enabled(false);
     ipso_obs::write_chrome_trace(std::path::Path::new(&out), &events)
@@ -570,7 +612,7 @@ pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     let n = args.f64_or("n", 8.0)? as u32;
     let seed = args.f64_or("seed", 3.0)? as u64;
     let threads = args.f64_or("threads", 1.0)? as usize;
-    let trace = run_traced_workload(&workload, n, seed, threads)?;
+    let trace = run_traced_workload(&workload, n, seed, threads, args)?;
     let snapshot = ipso_obs::snapshot();
     ipso_obs::set_enabled(false);
     let mut text = String::new();
@@ -592,8 +634,8 @@ USAGE:
   ipso provision <runs.csv> [--window 16] [--n-max 200]
                  [--worker-cost 0.10] [--master-cost 0.80] [--deadline SECS]
   ipso report    <runs.csv> [--window 16] [--n-max 200] [--fixed-size]
-  ipso trace     <workload> [--n 8] [--seed 3] [--threads 1] --out run.trace.json
-  ipso metrics   <workload> [--n 8] [--seed 3] [--threads 1]
+  ipso trace     <workload> [--n 8] [--seed 3] [--threads 1] [FAULTS] --out run.trace.json
+  ipso metrics   <workload> [--n 8] [--seed 3] [--threads 1] [FAULTS]
 
 FILES:
   curve.csv : n,speedup
@@ -604,6 +646,13 @@ WORKLOADS (trace / metrics): terasort, sort, wordcount
   metrics prints the metrics-registry snapshot and overhead breakdown
   --threads sets the host-side map wave width (0 = all hardware
   threads); outputs and traces are identical for any value
+
+FAULTS (trace / metrics; all off by default):
+  --fail-prob P        per-attempt task failure probability in [0, 1)
+  --node-crash-prob P  per-node crash probability in [0, 1]
+  --max-attempts K     retry budget per task (default 4)
+  --speculate          launch backup copies for stragglers
+  --fail-fast F        abort (exit 1) when wasted work exceeds F x total
 "
 }
 

@@ -188,4 +188,66 @@ fn usage_mentions_every_command() {
     ] {
         assert!(u.contains(cmd), "usage missing {cmd}");
     }
+    for flag in ["--fail-prob", "--speculate", "--fail-fast"] {
+        assert!(u.contains(flag), "usage missing {flag}");
+    }
+}
+
+/// Serializes the tests below: `metrics` toggles the global
+/// observability recorder.
+static OBS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn metrics_command_reports_fault_recovery() {
+    let _guard = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let cmd = args(&[
+        "metrics",
+        "sort",
+        "--n",
+        "4",
+        "--fail-prob",
+        "0.6",
+        "--max-attempts",
+        "8",
+        "--speculate",
+    ]);
+    let out = run(&cmd).unwrap();
+    assert!(out.contains("fault.task_retries"), "got:\n{out}");
+    // Byte-deterministic: the same flags reproduce the same report.
+    assert_eq!(run(&cmd).unwrap(), out);
+}
+
+#[test]
+fn fail_fast_flag_aborts_with_an_error() {
+    let _guard = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let err = run(&args(&[
+        "metrics",
+        "sort",
+        "--n",
+        "4",
+        "--fail-prob",
+        "0.6",
+        "--max-attempts",
+        "16",
+        "--fail-fast",
+        "0.0000001",
+    ]))
+    .unwrap_err();
+    assert!(err.0.contains("aborted"), "got: {err}");
+    assert!(err.0.contains("fail-fast budget"), "got: {err}");
+}
+
+#[test]
+fn invalid_fault_flags_are_rejected() {
+    let _guard = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let err = run(&args(&[
+        "metrics",
+        "sort",
+        "--n",
+        "4",
+        "--fail-prob",
+        "1.5",
+    ]))
+    .unwrap_err();
+    assert!(err.0.contains("invalid"), "got: {err}");
 }
