@@ -11,7 +11,7 @@ use ipso_sim::{ServerPool, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::TaskRecord;
-use crate::scheduler::CentralScheduler;
+use crate::scheduler::{CentralScheduler, SchedulerPolicy};
 
 /// Host-side execution knobs shared by the MapReduce and Spark engines.
 ///
@@ -82,24 +82,46 @@ pub fn run_wave_schedule(
     executors: usize,
     scheduler: &CentralScheduler,
 ) -> TaskSchedule {
+    run_wave_schedule_policy(durations, executors, scheduler, SchedulerPolicy::Fifo)
+}
+
+/// [`run_wave_schedule`] with an explicit dispatch-order policy.
+///
+/// [`SchedulerPolicy::Fifo`] reproduces `run_wave_schedule` operation for
+/// operation (dispatch order, pool submissions, instrumentation), so every
+/// pre-policy artifact is byte-identical. Other policies permute only the
+/// dispatch order; the returned records are always in task-id order.
+///
+/// # Panics
+///
+/// Panics if `executors` is zero or any duration is negative/non-finite.
+pub fn run_wave_schedule_policy(
+    durations: &[f64],
+    executors: usize,
+    scheduler: &CentralScheduler,
+    policy: SchedulerPolicy,
+) -> TaskSchedule {
     assert!(executors > 0, "need at least one executor");
+    for &d in durations {
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "task durations must be finite and >= 0"
+        );
+    }
+    let order = policy.dispatch_order(durations, executors);
     let mut pool = ServerPool::new(executors);
     let mut records = Vec::with_capacity(durations.len());
     let mut dispatch_clock = 0.0;
 
     let mut queued: Vec<(f64, f64)> = Vec::new();
-    for (i, &d) in durations.iter().enumerate() {
-        assert!(
-            d.is_finite() && d >= 0.0,
-            "task durations must be finite and >= 0"
-        );
-        dispatch_clock += scheduler.dispatch_time(i as u32);
-        let grant = pool.submit(SimTime::from_secs(dispatch_clock), d);
+    for (position, &task) in order.iter().enumerate() {
+        dispatch_clock += scheduler.dispatch_time(position as u32);
+        let grant = pool.submit(SimTime::from_secs(dispatch_clock), durations[task]);
         // Executor id is not tracked by the pool; derive a stable label
         // from wave position for traceability.
         records.push(TaskRecord {
-            task_id: i as u32,
-            executor: (i % executors) as u32,
+            task_id: task as u32,
+            executor: (position % executors) as u32,
             start: grant.start.as_secs(),
             end: grant.finish.as_secs(),
         });
@@ -109,6 +131,7 @@ pub fn run_wave_schedule(
             queued.push((dispatch_clock, grant.start.as_secs()));
         }
     }
+    records.sort_by_key(|r| r.task_id);
 
     if ipso_obs::enabled() {
         ipso_obs::counter_add("cluster.wave_schedules", 1);

@@ -21,6 +21,11 @@
 //!   and recovery (retry with backoff, speculation, lineage recompute
 //!   accounting) — re-executed work is charged into `Wo(n)`;
 //! * [`exec`] — wave scheduling of task sets over executor pools;
+//! * [`graph`] — the framework-agnostic task-graph IR both engines lower
+//!   their jobs into;
+//! * [`runtime`] — the single executor that runs a [`TaskGraph`]:
+//!   straggler sampling, policy-driven wave scheduling, fault resolution,
+//!   lineage recompute and Ws/Wp/Wo attribution in one place;
 //! * [`metrics`] — phase breakdowns and task traces shared by the engines;
 //! * [`error`] — the typed [`ClusterError`] these models reject with.
 //!
@@ -30,22 +35,28 @@
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub mod graph;
 pub mod memory;
 pub mod metrics;
 pub mod network;
+pub mod runtime;
 pub mod scheduler;
 pub mod spec;
 pub mod straggler;
 
 pub use error::ClusterError;
-pub use exec::{run_wave_schedule, uniform_wave_makespan, EngineOptions, TaskSchedule};
+pub use exec::{
+    run_wave_schedule, run_wave_schedule_policy, uniform_wave_makespan, EngineOptions, TaskSchedule,
+};
 pub use fault::{
     resolve_faults, FaultModel, FaultOutcome, FaultSummary, RecoveryEvent, RecoveryEventKind,
     RecoveryPolicy, TimeToFailure,
 };
+pub use graph::{IdealReference, LineageMode, StageNode, TaskGraph};
 pub use memory::MemoryModel;
 pub use metrics::{JobTrace, PhaseTimes, RunConfig, TaskRecord};
 pub use network::NetworkModel;
-pub use scheduler::CentralScheduler;
+pub use runtime::{execute, LineageRecompute, RunOutcome, RuntimeConfig, StageOutcome};
+pub use scheduler::{CentralScheduler, SchedulerPolicy};
 pub use spec::{ClusterSpec, NodeSpec};
 pub use straggler::StragglerModel;

@@ -200,28 +200,7 @@ impl TaskTimeDistribution {
     }
 }
 
-/// Euler–Mascheroni constant γ.
-const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
-
-/// Below this `n` the harmonic number is summed exactly; above it the
-/// asymptotic expansion is already accurate to ~1e-13, well past the
-/// exact sum's own accumulated rounding.
-const HARMONIC_EXACT_LIMIT: u32 = 512;
-
-/// The `n`-th harmonic number `H_n = Σ_{k≤n} 1/k`.
-///
-/// Exact summation up to [`HARMONIC_EXACT_LIMIT`]; beyond it the Euler
-/// expansion `ln n + γ + 1/(2n) − 1/(12n²)` (error `O(1/n⁴)`, < 1e-13 at
-/// the crossover) replaces the O(n) loop, so `expected_max` stays O(1)
-/// for the large task counts the straggler sweeps evaluate.
-fn harmonic(n: u32) -> f64 {
-    if n <= HARMONIC_EXACT_LIMIT {
-        (1..=n).map(|k| 1.0 / k as f64).sum()
-    } else {
-        let x = f64::from(n);
-        x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
-    }
-}
+use ipso_sim::harmonic;
 
 /// The statistic IPSO model.
 ///
@@ -426,27 +405,13 @@ mod tests {
     }
 
     #[test]
-    fn harmonic_asymptotic_agrees_at_the_crossover() {
-        let exact = |n: u32| -> f64 { (1..=n).map(|k| 1.0 / f64::from(k)).sum() };
-        // Both sides of the switch, including the first asymptotic n.
-        for n in [
-            HARMONIC_EXACT_LIMIT - 1,
-            HARMONIC_EXACT_LIMIT,
-            HARMONIC_EXACT_LIMIT + 1,
-            HARMONIC_EXACT_LIMIT + 7,
-            2 * HARMONIC_EXACT_LIMIT,
-            100_000,
-        ] {
-            let h = harmonic(n);
-            let e = exact(n);
-            assert!(
-                (h - e).abs() < 1e-12,
-                "H_{n}: harmonic() = {h}, exact = {e}, diff = {}",
-                (h - e).abs()
-            );
+    fn harmonic_is_the_shared_sim_implementation() {
+        // The harmonic helper lives in ipso-sim (special.rs); the model
+        // must use it rather than a private re-derivation.
+        let e = TaskTimeDistribution::Exponential { mean: 2.0 };
+        for n in [1u32, 7, 511, 513, 4096] {
+            assert_eq!(e.expected_max(n).unwrap(), 2.0 * ipso_sim::harmonic(n));
         }
-        // Monotone across the boundary.
-        assert!(harmonic(HARMONIC_EXACT_LIMIT + 1) > harmonic(HARMONIC_EXACT_LIMIT));
     }
 
     #[test]

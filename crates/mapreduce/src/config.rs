@@ -2,7 +2,7 @@
 
 use ipso_cluster::{
     CentralScheduler, ClusterSpec, EngineOptions, FaultModel, MemoryModel, NetworkModel,
-    RecoveryPolicy, StragglerModel,
+    RecoveryPolicy, SchedulerPolicy, StragglerModel,
 };
 
 use crate::cost::JobCostModel;
@@ -43,6 +43,10 @@ pub struct JobSpec {
     pub cluster: ClusterSpec,
     /// Centralized scheduler cost model.
     pub scheduler: CentralScheduler,
+    /// Dispatch-order policy of the central scheduler. [`SchedulerPolicy::Fifo`]
+    /// (the default) reproduces the classic Hadoop order and every
+    /// committed artifact.
+    pub policy: SchedulerPolicy,
     /// Network transfer model.
     pub network: NetworkModel,
     /// Reducer-side memory model (drives the TeraSort spill burst).
@@ -85,6 +89,7 @@ impl JobSpec {
             network: NetworkModel::from_cluster(&cluster),
             cluster,
             scheduler: CentralScheduler::hadoop_like(),
+            policy: SchedulerPolicy::Fifo,
             reducer_memory: MemoryModel::reducer_2gb(),
             straggler: StragglerModel::mild(),
             cost: JobCostModel::io_bound(),

@@ -12,39 +12,29 @@
 //! over the sample records and produce real outputs; only wall-clock time
 //! is synthetic, charged from nominal data volumes via the cost model.
 //!
-//! # Host-side execution
+//! Since the unified-runtime refactor the engine is a thin composition:
 //!
-//! The data path is built for throughput, the way the model describes
-//! the cluster executing it:
-//!
-//! * map tasks run as a parallel wave over `spec.engine.threads` host
-//!   threads ([`ipso_sim::par::ordered_map_indexed`]), with results
-//!   collected in task order so outputs and traces are byte-identical
-//!   to the sequential path for any thread count;
-//! * the map-side sort is a single flat pair buffer pre-sized from the
-//!   split, stably sorted by key, with the combiner streamed over the
-//!   sorted runs through one reused scratch buffer — no per-key tree
-//!   nodes, per-group `Vec`s or rebuilt maps: each task's run is stored
-//!   flat (keys + group offsets + one value buffer);
-//! * the reduce side k-way-merges the already-sorted per-task runs
-//!   through a binary heap instead of rebuilding a merged map; a key
-//!   that lives in a single run is reduced straight off that run's
-//!   value buffer, copy-free.
-//!
-//! The original double `BTreeMap` grouping survives, faithfully, as
-//! [`ShuffleImpl::BTreeGrouping`] so the benchmark regression harness
-//! can measure the before/after and tests can assert equivalence.
+//! 1. **data path** ([`crate::datapath`]) — the real map/combine/
+//!    shuffle-group/reduce over sample records, run as a parallel wave
+//!    over host threads; consumes no randomness;
+//! 2. **plan** ([`crate::plan`]) — lower the job to the framework-
+//!    agnostic task-graph IR ([`ipso_cluster::TaskGraph`]): one stage of
+//!    map tasks, slowest-task ideal, no lineage;
+//! 3. **execute** ([`ipso_cluster::execute`]) — the unified runtime owns
+//!    straggler sampling, fault resolution, policy-driven wave
+//!    scheduling and Ws/Wp/Wo attribution;
+//! 4. **account** — the serial merging portion (shuffle, merge, reduce)
+//!    is charged behind the barrier from the real intermediate volumes,
+//!    and the trace/timeline is assembled here.
 
-use std::collections::{BTreeMap, BinaryHeap};
-
-use ipso_cluster::{
-    resolve_faults, run_wave_schedule, ClusterError, FaultOutcome, JobTrace, PhaseTimes, RunConfig,
-    StragglerModel,
-};
+use ipso_cluster::runtime::{RuntimeConfig, StageOutcome};
+use ipso_cluster::{ClusterError, JobTrace, PhaseTimes, RunConfig, StageNode};
 use ipso_sim::SimRng;
 
-use crate::api::{Mapper, OutputScaling, Reducer};
-use crate::config::{JobSpec, ShuffleImpl};
+use crate::api::{Mapper, Reducer};
+use crate::config::JobSpec;
+use crate::datapath::{execute_map_tasks, execute_reduce, MappedTask};
+use crate::plan::plan_scale_out;
 use crate::split::InputSplit;
 
 /// The result of one job execution.
@@ -56,264 +46,6 @@ pub struct JobRun<O> {
     pub output: Vec<O>,
     /// Nominal bytes entering the reduce phase.
     pub reduce_input_bytes: u64,
-}
-
-/// The per-task result of the (real) map-side computation: a run sorted
-/// by key, stored flat. Group `i` holds `keys[i]` with the values
-/// `values[ends[i - 1]..ends[i]]` — three allocations per task instead
-/// of one `Vec` per key group.
-struct MappedTask<K, V> {
-    /// Group keys in ascending order.
-    keys: Vec<K>,
-    /// Cumulative group end offsets into `values`, parallel to `keys`.
-    ends: Vec<u32>,
-    /// All groups' values, concatenated in key order.
-    values: Vec<V>,
-    /// Nominal post-combine output bytes.
-    nominal_out_bytes: u64,
-}
-
-/// Runs the map + combine side of one task for real.
-fn execute_map_task<M>(
-    mapper: &M,
-    split: &InputSplit<M::Input>,
-    shuffle: ShuffleImpl,
-) -> MappedTask<M::Key, M::Value>
-where
-    M: Mapper,
-{
-    use crate::api::Sizeable;
-
-    // The reference path keeps the seed's unsized buffer so the
-    // regression benchmarks measure the original allocation behaviour.
-    let mut pairs: Vec<(M::Key, M::Value)> = match shuffle {
-        ShuffleImpl::SortMerge => Vec::with_capacity(split.records.len()),
-        ShuffleImpl::BTreeGrouping => Vec::new(),
-    };
-    for record in &split.records {
-        mapper.map(record, &mut |k, v| pairs.push((k, v)));
-    }
-
-    let mut keys: Vec<M::Key> = Vec::new();
-    let mut ends: Vec<u32> = Vec::new();
-    let mut values: Vec<M::Value> = Vec::new();
-    let mut sample_out_bytes: u64 = 0;
-
-    match shuffle {
-        ShuffleImpl::SortMerge => {
-            // The map-side sort: one stable sort of the flat buffer (so
-            // order-sensitive reducers see values in emission order, as
-            // the grouping path produced them), then combine streamed
-            // over the sorted runs in a single pass through one reused
-            // scratch group.
-            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-            values.reserve(pairs.len());
-            let mut flush = |key: M::Key, group: &mut Vec<M::Value>| {
-                mapper.combine(&key, group);
-                for v in group.iter() {
-                    sample_out_bytes += key.size_bytes() + v.size_bytes();
-                }
-                keys.push(key);
-                values.append(group);
-                ends.push(values.len() as u32);
-            };
-            let mut pairs = pairs.into_iter();
-            if let Some((first_k, first_v)) = pairs.next() {
-                let mut key = first_k;
-                let mut group = vec![first_v];
-                for (k, v) in pairs {
-                    if k == key {
-                        group.push(v);
-                    } else {
-                        flush(std::mem::replace(&mut key, k), &mut group);
-                        group.push(v);
-                    }
-                }
-                flush(key, &mut group);
-            }
-        }
-        ShuffleImpl::BTreeGrouping => {
-            // Reference path, kept faithful to the seed: group through a
-            // per-key tree, combine into a second rebuilt tree, then
-            // marshal into the run container.
-            let mut groups: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
-            for (k, v) in pairs {
-                groups.entry(k).or_default().push(v);
-            }
-            let mut combined: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
-            for (k, mut vs) in groups {
-                mapper.combine(&k, &mut vs);
-                for v in &vs {
-                    sample_out_bytes += k.size_bytes() + v.size_bytes();
-                }
-                combined.insert(k, vs);
-            }
-            for (k, vs) in combined {
-                keys.push(k);
-                values.extend(vs);
-                ends.push(values.len() as u32);
-            }
-        }
-    }
-
-    let nominal_out_bytes = match mapper.output_scaling() {
-        OutputScaling::Proportional => (sample_out_bytes as f64 * split.scale_up()).round() as u64,
-        OutputScaling::Saturating => sample_out_bytes,
-    };
-    MappedTask {
-        keys,
-        ends,
-        values,
-        nominal_out_bytes,
-    }
-}
-
-/// Runs the map + combine side of every task, as a parallel wave over
-/// the host threads configured in `spec.engine`. Results come back in
-/// task order, so downstream accounting is independent of thread count.
-fn execute_map_tasks<M>(
-    mapper: &M,
-    splits: &[InputSplit<M::Input>],
-    spec: &JobSpec,
-) -> Vec<MappedTask<M::Key, M::Value>>
-where
-    M: Mapper + Sync,
-    M::Input: Sync,
-    M::Key: Send,
-    M::Value: Send,
-{
-    ipso_sim::par::ordered_map_indexed(spec.engine.threads, splits.len(), |i| {
-        execute_map_task(mapper, &splits[i], spec.shuffle)
-    })
-}
-
-/// A consumable view of one task's flat run for the k-way merge.
-struct RunSource<K, V> {
-    keys: std::vec::IntoIter<K>,
-    ends: std::vec::IntoIter<u32>,
-    values: Vec<V>,
-    /// Start offset of the next unconsumed group in `values`.
-    pos: usize,
-}
-
-/// The head of one task's run, ordered for min-heap extraction: smallest
-/// key first, ties broken by task index so values merge in task order
-/// exactly as the sequential grouping path appended them.
-struct RunHead<K> {
-    key: K,
-    task: usize,
-}
-
-impl<K: Ord> PartialEq for RunHead<K> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.task == other.task
-    }
-}
-impl<K: Ord> Eq for RunHead<K> {}
-impl<K: Ord> PartialOrd for RunHead<K> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<K: Ord> Ord for RunHead<K> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed so `BinaryHeap` (a max-heap) pops the smallest
-        // (key, task) pair first.
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.task.cmp(&self.task))
-    }
-}
-
-/// Merges all tasks' sorted runs and runs the reducer for real.
-fn execute_reduce<R>(
-    reducer: &R,
-    tasks: Vec<MappedTask<R::Key, R::Value>>,
-    shuffle: ShuffleImpl,
-) -> (Vec<R::Output>, u64)
-where
-    R: Reducer,
-{
-    let mut reduce_input_bytes: u64 = 0;
-    let mut output = Vec::new();
-
-    match shuffle {
-        ShuffleImpl::SortMerge => {
-            // K-way merge over the per-task runs: a binary heap holds one
-            // head key per task. A key that lives in a single run is
-            // reduced directly from that run's value buffer; equal keys
-            // across tasks are coalesced into one reused scratch group in
-            // task order.
-            let mut sources: Vec<RunSource<R::Key, R::Value>> = tasks
-                .into_iter()
-                .map(|t| {
-                    reduce_input_bytes += t.nominal_out_bytes;
-                    RunSource {
-                        keys: t.keys.into_iter(),
-                        ends: t.ends.into_iter(),
-                        values: t.values,
-                        pos: 0,
-                    }
-                })
-                .collect();
-            let mut heap: BinaryHeap<RunHead<R::Key>> = BinaryHeap::with_capacity(sources.len());
-            for (task, source) in sources.iter_mut().enumerate() {
-                if let Some(key) = source.keys.next() {
-                    heap.push(RunHead { key, task });
-                }
-            }
-            let mut scratch: Vec<R::Value> = Vec::new();
-            while let Some(RunHead { key, task }) = heap.pop() {
-                let src = &mut sources[task];
-                let start = src.pos;
-                let end = src.ends.next().expect("ends parallel to keys") as usize;
-                src.pos = end;
-                if let Some(next_key) = src.keys.next() {
-                    heap.push(RunHead {
-                        key: next_key,
-                        task,
-                    });
-                }
-                let key_continues = heap.peek().is_some_and(|head| head.key == key);
-                if !key_continues && scratch.is_empty() {
-                    // Sole-run key: reduce straight off the run, no copy.
-                    reducer.reduce(&key, &sources[task].values[start..end], &mut |o| {
-                        output.push(o);
-                    });
-                } else {
-                    scratch.extend_from_slice(&sources[task].values[start..end]);
-                    if !key_continues {
-                        reducer.reduce(&key, &scratch, &mut |o| output.push(o));
-                        scratch.clear();
-                    }
-                }
-            }
-        }
-        ShuffleImpl::BTreeGrouping => {
-            // Reference path, faithful to the seed: rebuild one merged
-            // map, then reduce.
-            let mut merged: BTreeMap<R::Key, Vec<R::Value>> = BTreeMap::new();
-            for t in tasks {
-                reduce_input_bytes += t.nominal_out_bytes;
-                let mut vals = t.values.into_iter();
-                let mut pos: usize = 0;
-                for (k, end) in t.keys.into_iter().zip(t.ends) {
-                    let end = end as usize;
-                    merged
-                        .entry(k)
-                        .or_default()
-                        .extend(vals.by_ref().take(end - pos));
-                    pos = end;
-                }
-            }
-            for (k, vs) in &merged {
-                reducer.reduce(k, vs, &mut |o| output.push(o));
-            }
-        }
-    }
-
-    (output, reduce_input_bytes)
 }
 
 /// Runs the job scaled out over `splits.len()` parallel tasks.
@@ -401,35 +133,28 @@ where
     // Real map-side computation, executed as a parallel wave.
     let mapped: Vec<MappedTask<M::Key, M::Value>> = execute_map_tasks(mapper, splits, spec);
 
-    // Nominal task durations with straggler noise.
-    let durations: Vec<f64> = splits
-        .iter()
-        .map(|s| spec.cost.map_time(s.nominal_bytes) * spec.straggler.multiplier(&mut rng))
-        .collect();
-
-    // Fault resolution: recovery latency lengthens the affected tasks
-    // before scheduling; wasted work is charged into Wo below. Disabled
-    // (the default) consumes zero RNG draws, keeping the straggler
-    // stream — and therefore every output byte — identical to a
-    // fault-free build.
+    // Lower to the task-graph IR and hand the timing side to the unified
+    // runtime: straggler sampling, fault resolution (disabled consumes
+    // zero RNG draws, keeping the straggler stream — and therefore every
+    // output byte — identical to a fault-free build), policy-driven wave
+    // scheduling and overhead attribution all live there now.
+    let graph = plan_scale_out(spec, splits);
     let executors = slots.min(splits.len());
-    let fault_outcome: Option<FaultOutcome> = if spec.faults.enabled() {
-        Some(resolve_faults(
-            &durations,
-            executors,
-            &spec.faults,
-            &spec.recovery,
-            &mut rng,
-        )?)
-    } else {
-        None
+    let runtime = RuntimeConfig {
+        executors,
+        scheduler: spec.scheduler,
+        policy: spec.policy,
+        straggler: spec.straggler,
+        faults: spec.faults,
+        recovery: spec.recovery,
+        threads: spec.engine.threads,
     };
-    let effective: &[f64] = fault_outcome
-        .as_ref()
-        .map_or(&durations, |o| o.durations.as_slice());
-
-    let schedule = run_wave_schedule(effective, executors, &spec.scheduler);
-    let max_task = schedule.max_task_duration();
+    let mut outcome = ipso_cluster::execute(&graph, &runtime, &mut rng)?;
+    let mut stage = outcome.stages.pop().expect("single-stage graph");
+    // Replay the captured scheduling instrumentation at its place in the
+    // global stream: after sampling, before the shuffle model below.
+    ipso_obs::merge(std::mem::take(&mut stage.records));
+    let max_task = stage.schedule.max_task_duration();
 
     // Serial merging portion. The shuffle is charged at the reducer's
     // service rate, as in the sequential execution: the paper inspected
@@ -445,12 +170,12 @@ where
         // server captures the queueing effect at the single reducer.
         let mut server = ipso_sim::FifoServer::new();
         let mut finish = ipso_sim::SimTime::ZERO;
-        for (record, task) in schedule.records.iter().zip(&mapped) {
+        for (record, task) in stage.schedule.records.iter().zip(&mapped) {
             let service = spec.cost.shuffle_time(task.nominal_out_bytes);
             let grant = server.submit(ipso_sim::SimTime::from_secs(record.end), service);
             finish = finish.max(grant.finish);
         }
-        (finish.as_secs() - schedule.makespan).max(0.0)
+        (finish.as_secs() - stage.schedule.makespan).max(0.0)
     } else {
         spec.cost.shuffle_time(total_intermediate)
     };
@@ -460,29 +185,27 @@ where
     let (output, reduce_input_bytes) = execute_reduce(reducer, mapped, spec.shuffle);
     let reduce = spec.cost.reduce_time(reduce_input_bytes) * slowdown;
 
-    // Scale-out-only overheads: extra job setup versus the sequential
-    // environment, the dispatch-induced stretch of the split phase, and
-    // the work burned by fault recovery (the latency of recovery is
-    // already inside the schedule; the *wasted work* is scale-out-induced
-    // workload, since the sequential reference never re-executes).
-    let setup_extra = (spec.scheduler.job_setup - spec.cost.seq_init).max(0.0);
-    let barrier_stretch = (schedule.makespan - max_task).max(0.0);
-    let wasted = fault_outcome
-        .as_ref()
-        .map_or(0.0, |o| o.summary.wasted_total());
+    // Scale-out-only overheads, attributed by the runtime: extra job
+    // setup versus the sequential environment (the graph's setup term),
+    // the dispatch-induced stretch of the split phase beyond the slowest
+    // task (the stage's schedule overhead), and the work burned by fault
+    // recovery (the latency of recovery is already inside the schedule;
+    // the *wasted work* is scale-out-induced workload, since the
+    // sequential reference never re-executes).
+    let setup_extra = outcome.setup_overhead;
+    let barrier_stretch = stage.schedule_overhead();
+    let wasted = stage.wasted();
 
     if ipso_obs::enabled() {
         record_scale_out_trace(
             spec,
-            splits,
-            effective,
-            &schedule,
+            &graph.stages[0],
+            &stage,
             total_intermediate,
             shuffle,
             merge,
             reduce,
             setup_extra + barrier_stretch,
-            fault_outcome.as_ref(),
         );
     }
 
@@ -496,14 +219,14 @@ where
             merge,
             reduce,
         },
-        tasks: schedule.records,
+        tasks: stage.schedule.records,
         scale_out_overhead: setup_extra + barrier_stretch + wasted,
         config: Some(RunConfig {
             scheduler: spec.scheduler,
             straggler: spec.straggler,
             seed: spec.seed,
         }),
-        faults: fault_outcome.map(|o| o.summary),
+        faults: stage.fault.map(|o| o.summary),
     };
     Ok(JobRun {
         trace,
@@ -515,42 +238,29 @@ where
 /// Emits the scale-out run's timeline and metrics into `ipso_obs`.
 ///
 /// The timeline places the init span at virtual time zero, the split
-/// phase (and its per-executor task spans) right after it, and the
-/// serial shuffle/merge/reduce phases behind the barrier. Tasks whose
-/// straggler multiplier reached the severe threshold get an instant
-/// marker on their executor's track, and each recovery event (retry,
-/// lost output, speculative copy) an instant at its task's finish.
+/// phase (and its per-executor task spans, via the runtime's
+/// [`StageOutcome::record_task_spans`]) right after it, and the serial
+/// shuffle/merge/reduce phases behind the barrier. Tasks whose straggler
+/// multiplier reached the severe threshold get an instant marker on
+/// their executor's track, and each recovery event (retry, lost output,
+/// speculative copy) an instant at its task's finish.
 #[allow(clippy::too_many_arguments)]
-fn record_scale_out_trace<I>(
+fn record_scale_out_trace(
     spec: &JobSpec,
-    splits: &[InputSplit<I>],
-    durations: &[f64],
-    schedule: &ipso_cluster::TaskSchedule,
+    plan: &StageNode,
+    stage: &StageOutcome,
     total_intermediate: u64,
     shuffle: f64,
     merge: f64,
     reduce: f64,
     overhead: f64,
-    faults: Option<&FaultOutcome>,
 ) {
     let t0 = spec.cost.seq_init;
+    let makespan = stage.schedule.makespan;
     ipso_obs::record_span("driver", "init", "mapreduce", 0.0, t0);
-    ipso_obs::record_span("driver", "map", "mapreduce", t0, t0 + schedule.makespan);
-    for (i, record) in schedule.records.iter().enumerate() {
-        let track = format!("executor-{}", record.executor);
-        ipso_obs::record_span(
-            &track,
-            &format!("task-{}", record.task_id),
-            "mapreduce",
-            t0 + record.start,
-            t0 + record.end,
-        );
-        let nominal = spec.cost.map_time(splits[i].nominal_bytes);
-        if nominal > 0.0 && durations[i] / nominal >= StragglerModel::SEVERE_MULTIPLIER {
-            ipso_obs::record_instant(&track, "straggler", "mapreduce", t0 + record.end);
-        }
-    }
-    let barrier = t0 + schedule.makespan;
+    ipso_obs::record_span("driver", "map", "mapreduce", t0, t0 + makespan);
+    stage.record_task_spans(plan, "mapreduce", t0);
+    let barrier = t0 + makespan;
     ipso_obs::record_span("driver", "shuffle", "mapreduce", barrier, barrier + shuffle);
     ipso_obs::record_span(
         "driver",
@@ -566,20 +276,9 @@ fn record_scale_out_trace<I>(
         barrier + shuffle + merge,
         barrier + shuffle + merge + reduce,
     );
-    if let Some(outcome) = faults {
-        for event in &outcome.summary.events {
-            let record = &schedule.records[event.task as usize];
-            let track = format!("executor-{}", record.executor);
-            let name = match event.kind {
-                ipso_cluster::RecoveryEventKind::AttemptFailed { .. } => "task-retry",
-                ipso_cluster::RecoveryEventKind::OutputLost { .. } => "output-lost",
-                ipso_cluster::RecoveryEventKind::Speculated { .. } => "speculative-copy",
-            };
-            ipso_obs::record_instant(&track, name, "mapreduce", t0 + record.end);
-        }
-    }
+    stage.record_fault_instants("mapreduce", t0);
     ipso_obs::counter_add("mapreduce.jobs", 1);
-    ipso_obs::counter_add("mapreduce.tasks_launched", durations.len() as u64);
+    ipso_obs::counter_add("mapreduce.tasks_launched", stage.effective.len() as u64);
     ipso_obs::counter_add("mapreduce.shuffle_bytes", total_intermediate);
     ipso_obs::gauge_add("overhead.scheduling_s", overhead);
 }
@@ -660,6 +359,7 @@ where
 mod tests {
     use super::*;
     use crate::api::{OutputScaling, Sizeable};
+    use crate::config::ShuffleImpl;
 
     /// A sort-style identity job over u64 records.
     struct IdMap;

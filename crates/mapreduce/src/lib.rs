@@ -29,8 +29,10 @@
 pub mod api;
 pub mod config;
 pub mod cost;
+mod datapath;
 pub mod engine;
 pub mod measure;
+pub mod plan;
 pub mod split;
 
 pub use api::{Mapper, OutputScaling, Reducer, Sizeable};
@@ -38,4 +40,5 @@ pub use config::{JobSpec, ShuffleImpl};
 pub use cost::JobCostModel;
 pub use engine::{run_scale_out, run_sequential, try_run_scale_out, JobRun};
 pub use measure::{measurement_from_runs, ScalingSweep};
+pub use plan::plan_scale_out;
 pub use split::InputSplit;

@@ -44,6 +44,6 @@ pub use event::EventQueue;
 pub use par::{ordered_map_indexed, resolve_threads};
 pub use resource::{FifoServer, ServerPool};
 pub use rng::{stream_seed, SimRng};
-pub use special::{ln_beta, ln_gamma, pareto_expected_max};
+pub use special::{harmonic, ln_beta, ln_gamma, pareto_expected_max};
 pub use stats::{percentile, OnlineStats};
 pub use time::SimTime;

@@ -55,6 +55,30 @@ pub fn ln_beta(a: f64, b: f64) -> f64 {
     ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
 }
 
+/// Euler–Mascheroni constant γ.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Below this `n` the harmonic number is summed exactly; above it the
+/// asymptotic expansion is already accurate to ~1e-13, well past the
+/// exact sum's own accumulated rounding.
+pub const HARMONIC_EXACT_LIMIT: u32 = 512;
+
+/// The `n`-th harmonic number `H_n = Σ_{k≤n} 1/k`.
+///
+/// Exact summation up to [`HARMONIC_EXACT_LIMIT`]; beyond it the Euler
+/// expansion `ln n + γ + 1/(2n) − 1/(12n²)` (error `O(1/n⁴)`, < 1e-13 at
+/// the crossover) replaces the O(n) loop, so `E[max]` of exponential
+/// order statistics stays O(1) for the large task counts the straggler
+/// sweeps evaluate.
+pub fn harmonic(n: u32) -> f64 {
+    if n <= HARMONIC_EXACT_LIMIT {
+        (1..=n).map(|k| 1.0 / k as f64).sum()
+    } else {
+        let x = f64::from(n);
+        x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+    }
+}
+
 /// Expected maximum of `n` i.i.d. Pareto(scale, shape) draws:
 /// `scale · n · B(n, 1 − 1/shape)`, finite for `shape > 1`.
 ///
@@ -154,5 +178,29 @@ mod tests {
     #[should_panic(expected = "ln_gamma requires x > 0")]
     fn gamma_rejects_nonpositive() {
         let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn harmonic_asymptotic_agrees_at_the_crossover() {
+        let exact = |n: u32| -> f64 { (1..=n).map(|k| 1.0 / f64::from(k)).sum() };
+        // Both sides of the switch, including the first asymptotic n.
+        for n in [
+            HARMONIC_EXACT_LIMIT - 1,
+            HARMONIC_EXACT_LIMIT,
+            HARMONIC_EXACT_LIMIT + 1,
+            HARMONIC_EXACT_LIMIT + 7,
+            2 * HARMONIC_EXACT_LIMIT,
+            100_000,
+        ] {
+            let h = harmonic(n);
+            let e = exact(n);
+            assert!(
+                (h - e).abs() < 1e-12,
+                "H_{n}: harmonic() = {h}, exact = {e}, diff = {}",
+                (h - e).abs()
+            );
+        }
+        // Monotone across the boundary.
+        assert!(harmonic(HARMONIC_EXACT_LIMIT + 1) > harmonic(HARMONIC_EXACT_LIMIT));
     }
 }

@@ -13,12 +13,14 @@
 //! broadcasts, first-wave costs, memory pressure, incast shuffles, and
 //! the same JSON event log.
 
-use ipso_cluster::{resolve_faults, run_wave_schedule, CentralScheduler, FaultSummary};
+use ipso_cluster::runtime::RuntimeConfig;
+use ipso_cluster::{FaultSummary, SchedulerPolicy};
 use ipso_sim::SimRng;
 
-use crate::engine::{SparkRun, INPUT_READ_RATE};
+use crate::engine::SparkRun;
 use crate::eventlog::{write_event_log, SparkEvent};
 use crate::job::SparkJobSpec;
+use crate::lower::lower_levels;
 
 /// Groups the stages of `spec` into dependency levels.
 ///
@@ -95,11 +97,20 @@ pub fn assign_levels(num_stages: usize, edges: &[(usize, usize)]) -> Result<Vec<
 /// ```
 pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun, String> {
     spec.validate()?;
-    let levels = assign_levels(spec.stages.len(), edges)?;
-    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let (graph, members_per_level) = lower_levels(spec, edges)?;
     let m = spec.parallelism;
     let mut rng =
         SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
+    let runtime = RuntimeConfig {
+        executors: m as usize,
+        scheduler: spec.scheduler,
+        policy: SchedulerPolicy::Fifo,
+        straggler: spec.straggler,
+        faults: spec.faults,
+        recovery: spec.recovery,
+        threads: spec.engine.threads,
+    };
+    let outcome = ipso_cluster::execute(&graph, &runtime, &mut rng).map_err(|e| e.to_string())?;
 
     let mut clock = 0.0f64;
     let mut overhead = 0.0f64;
@@ -111,16 +122,13 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
     }];
 
     // Serialized executor launch, as in the sequential engine.
-    let launch = f64::from(m) * spec.executor_launch_cost;
+    let launch = outcome.setup_overhead;
     clock += launch;
     overhead += launch;
 
-    for level in 0..=max_level {
-        let members: Vec<usize> = (0..spec.stages.len())
-            .filter(|&s| levels[s] == level)
-            .collect();
+    for (members, mut staged) in members_per_level.iter().zip(outcome.stages) {
         let submitted = clock;
-        for &s in &members {
+        for &s in members {
             events.push(SparkEvent::StageSubmitted {
                 stage_id: s as u32,
                 stage_name: spec.stages[s].name.clone(),
@@ -129,8 +137,9 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
             });
         }
 
-        // Broadcasts of all member stages are serialized at the driver.
-        for &s in &members {
+        // Broadcasts of all member stages are serialized at the driver,
+        // each added to the clock individually.
+        for &s in members {
             let b = spec
                 .network
                 .broadcast_time(spec.stages[s].broadcast_bytes, m);
@@ -138,73 +147,19 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
             overhead += b;
         }
 
-        // Build the interleaved task list for the level: round-robin over
-        // member stages so concurrent stages share the executors fairly.
-        let mut durations: Vec<f64> = Vec::new();
-        let mut ideal: Vec<f64> = Vec::new();
-        let mut cursors: Vec<u32> = vec![0; members.len()];
-        let mut first_wave_budget =
-            m.min(members.iter().map(|&s| spec.stages[s].tasks).sum::<u32>()) as usize;
-        loop {
-            let mut emitted = false;
-            for (mi, &s) in members.iter().enumerate() {
-                let stage = &spec.stages[s];
-                if cursors[mi] < stage.tasks {
-                    cursors[mi] += 1;
-                    emitted = true;
-                    let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
-                    let working_set = if stage.caches_input {
-                        (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
-                    } else {
-                        stage.input_bytes_per_task
-                    };
-                    let mem_mult = if working_set > spec.executor_memory {
-                        spec.spill_slowdown
-                    } else {
-                        1.0
-                    };
-                    let base =
-                        stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
-                    let fw = if first_wave_budget > 0 {
-                        first_wave_budget -= 1;
-                        spec.first_wave_cost
-                    } else {
-                        0.0
-                    };
-                    durations.push(base * mem_mult * spec.straggler.multiplier(&mut rng) + fw);
-                    ideal.push(base * mem_mult);
-                }
-            }
-            if !emitted {
-                break;
-            }
+        // The runtime's wave schedule over the level's interleaved task
+        // list; its captured instrumentation lands here, in level order.
+        // Recovery latency lengthened the tasks; wasted work is charged
+        // as overhead. (Lineage recomputation across levels is modeled
+        // only by the sequential chain engine, where the
+        // stage-to-predecessor mapping is unambiguous.)
+        ipso_obs::merge(std::mem::take(&mut staged.records));
+        if let Some(fault) = staged.fault.take() {
+            overhead += fault.summary.wasted_total();
+            fault_summaries.push(fault.summary);
         }
-
-        if !durations.is_empty() {
-            // Fault resolution over the level's interleaved task list:
-            // recovery latency lengthens the tasks, wasted work is
-            // charged as overhead. (Lineage recomputation across levels
-            // is modeled only by the sequential chain engine, where the
-            // stage-to-predecessor mapping is unambiguous.)
-            if spec.faults.enabled() {
-                let outcome = resolve_faults(
-                    &durations,
-                    m as usize,
-                    &spec.faults,
-                    &spec.recovery,
-                    &mut rng,
-                )
-                .map_err(|e| e.to_string())?;
-                durations = outcome.durations.clone();
-                overhead += outcome.summary.wasted_total();
-                fault_summaries.push(outcome.summary);
-            }
-            let schedule = run_wave_schedule(&durations, m as usize, &spec.scheduler);
-            let ideal_makespan =
-                run_wave_schedule(&ideal, m as usize, &CentralScheduler::idealized()).makespan;
-            overhead += (schedule.makespan - ideal_makespan).max(0.0);
-            clock += schedule.makespan;
-        }
+        overhead += staged.schedule_overhead();
+        clock += staged.schedule.makespan;
 
         // Combined shuffle of the level: all member outputs contend for
         // the receivers.
@@ -217,7 +172,7 @@ pub fn run_dag(spec: &SparkJobSpec, edges: &[(usize, usize)]) -> Result<SparkRun
             clock += per_receiver / spec.network.incast_goodput(m);
         }
 
-        for &s in &members {
+        for &s in members {
             stage_times[s] = clock - submitted;
             events.push(SparkEvent::StageCompleted {
                 stage_id: s as u32,

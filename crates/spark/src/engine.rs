@@ -1,30 +1,29 @@
 //! Stage-DAG execution.
 //!
-//! # Host-side execution
+//! Since the unified-runtime refactor [`run_job`] is plan → execute →
+//! walk:
 //!
-//! [`run_job`] runs in three phases so the expensive part — computing
-//! each stage's wave schedule — can use `spec.engine.threads` host
-//! threads without changing a single output byte:
-//!
-//! 1. **Plan** (sequential): per-stage RNG draws and duration vectors, in
-//!    stage order, so the straggler stream is identical to the
-//!    sequential engine's;
-//! 2. **Schedule** (parallel wave over stages): actual, idealized and
-//!    no-straggler schedules per stage, with any observability records
-//!    captured thread-locally ([`ipso_obs::capture`]);
-//! 3. **Walk** (sequential): the virtual clock advances stage by stage,
-//!    merging each stage's captured records in stage order so the global
-//!    observability stream is byte-identical to a sequential run.
+//! 1. **Plan**: [`crate::lower::lower_chain`] translates the job into
+//!    the framework-agnostic task-graph IR — one stage per DAG stage
+//!    with uniform ideal tasks, first-wave fixed extras and lineage
+//!    metadata;
+//! 2. **Execute**: [`ipso_cluster::execute`] owns straggler sampling,
+//!    fault resolution, wave scheduling (as a parallel wave over
+//!    `spec.engine.threads` host threads, with instrumentation captured
+//!    thread-locally) and lineage-recompute accounting;
+//! 3. **Walk** (sequential): the virtual clock advances stage by stage —
+//!    serialized broadcasts, stage waves, lineage replays, incast
+//!    shuffles — merging each stage's captured records in stage order so
+//!    the global observability stream is byte-identical to a sequential
+//!    run for any thread count.
 
-use ipso_cluster::{resolve_faults, run_wave_schedule, uniform_wave_makespan};
-use ipso_cluster::{
-    CentralScheduler, ClusterError, FaultOutcome, FaultSummary, RecoveryEventKind, StragglerModel,
-    TaskSchedule,
-};
+use ipso_cluster::runtime::RuntimeConfig;
+use ipso_cluster::{ClusterError, FaultSummary, SchedulerPolicy};
 use ipso_sim::SimRng;
 
 use crate::eventlog::{write_event_log, SparkEvent};
 use crate::job::SparkJobSpec;
+use crate::lower::lower_chain;
 
 /// Read rate for task input, bytes/s (cached partitions / local HDFS
 /// blocks stream at roughly memory-page-cache speed on m4-class nodes).
@@ -57,38 +56,6 @@ impl SparkRun {
             0.0
         }
     }
-}
-
-/// The pre-drawn inputs of one stage's schedule: everything that
-/// consumes the RNG stream, computed sequentially in stage order.
-struct StagePlan {
-    /// Serialized driver broadcast time.
-    broadcast: f64,
-    /// Nominal task time (compute + input read) before noise.
-    base: f64,
-    /// Spill multiplier from executor memory pressure.
-    mem_mult: f64,
-    /// Number of first-wave tasks paying the one-time executor cost.
-    first_wave: usize,
-    /// Per-task durations with first-wave cost, straggler noise and —
-    /// when faults are enabled — recovery latency.
-    durations: Vec<f64>,
-    /// Fault resolution for this stage, when the model is enabled.
-    fault: Option<FaultOutcome>,
-}
-
-/// One stage's computed schedules, ready for the sequential clock walk.
-struct StageSchedule {
-    /// The actual wave schedule.
-    schedule: TaskSchedule,
-    /// Makespan of the idealized (free dispatch, no first wave, no
-    /// noise) schedule.
-    ideal_makespan: f64,
-    /// No-straggler durations and their makespan under the real
-    /// scheduler, computed only when observability is on.
-    no_straggler: Option<(Vec<f64>, f64)>,
-    /// Observability records captured while scheduling.
-    records: ipso_obs::LocalRecords,
 }
 
 /// Executes the job's stage DAG on `m` executors.
@@ -140,118 +107,31 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
     let mut rng =
         SimRng::seed_from(spec.seed ^ (u64::from(m) << 32) ^ u64::from(spec.problem_size));
 
-    // Phase 1 — plan. All RNG consumption happens here, sequentially in
-    // stage order, so the straggler stream is independent of how the
-    // schedules are later computed.
-    let mut plans: Vec<StagePlan> = Vec::with_capacity(spec.stages.len());
-    for stage in &spec.stages {
-        let broadcast = spec.network.broadcast_time(stage.broadcast_bytes, m);
+    // Plan and execute. The runtime consumes the RNG sequentially in
+    // stage order (straggler draws, then fault resolution — disabled
+    // consumes zero draws), computes every stage's actual / idealized /
+    // no-straggler schedules as a parallel wave over the host threads
+    // with instrumentation captured per stage, and attributes lineage
+    // recomputation from the graph's dependency metadata.
+    let graph = lower_chain(spec);
+    let runtime = RuntimeConfig {
+        executors: m as usize,
+        scheduler: spec.scheduler,
+        policy: SchedulerPolicy::Fifo,
+        straggler: spec.straggler,
+        faults: spec.faults,
+        recovery: spec.recovery,
+        threads: spec.engine.threads,
+    };
+    let outcome = ipso_cluster::execute(&graph, &runtime, &mut rng)?;
 
-        // Memory pressure: tasks per executor × cached partition size.
-        let tasks_per_exec = (stage.tasks as f64 / m as f64).ceil();
-        let working_set = if stage.caches_input {
-            (stage.input_bytes_per_task as f64 * tasks_per_exec) as u64
-        } else {
-            stage.input_bytes_per_task
-        };
-        let mem_mult = if working_set > spec.executor_memory {
-            spec.spill_slowdown
-        } else {
-            1.0
-        };
-
-        // Task durations with first-wave cost and straggler noise.
-        let base = stage.task_compute + stage.input_bytes_per_task as f64 / INPUT_READ_RATE;
-        let first_wave = m.min(stage.tasks) as usize;
-        let durations: Vec<f64> = (0..stage.tasks as usize)
-            .map(|i| {
-                let fw = if i < first_wave {
-                    spec.first_wave_cost
-                } else {
-                    0.0
-                };
-                base * mem_mult * spec.straggler.multiplier(&mut rng) + fw
-            })
-            .collect();
-
-        // Fault resolution per stage: recovery latency lengthens the
-        // tasks that get rescheduled below. Disabled (the default)
-        // consumes zero RNG draws.
-        let fault: Option<FaultOutcome> = if spec.faults.enabled() {
-            Some(resolve_faults(
-                &durations,
-                m as usize,
-                &spec.faults,
-                &spec.recovery,
-                &mut rng,
-            )?)
-        } else {
-            None
-        };
-        let durations = match &fault {
-            Some(outcome) => outcome.durations.clone(),
-            None => durations,
-        };
-        plans.push(StagePlan {
-            broadcast,
-            base,
-            mem_mult,
-            first_wave,
-            durations,
-            fault,
-        });
-    }
-
-    // Phase 2 — schedule, as a parallel wave over stages. Each worker
-    // captures its observability records thread-locally; they are merged
-    // in stage order during the clock walk, so the global stream is
-    // byte-identical to a sequential run for any thread count.
-    let schedules: Vec<StageSchedule> =
-        ipso_sim::par::ordered_map_indexed(spec.engine.threads, plans.len(), |i| {
-            let plan = &plans[i];
-            let ((schedule, ideal_makespan, no_straggler), records) = ipso_obs::capture(|| {
-                let schedule = run_wave_schedule(&plan.durations, m as usize, &spec.scheduler);
-                // The overhead yardstick: an idealized schedule with free
-                // dispatch, no first-wave cost and no noise. Its tasks are
-                // uniform, so the allocation-free closed form applies.
-                let ideal_makespan = uniform_wave_makespan(
-                    plan.base * plan.mem_mult,
-                    plan.durations.len(),
-                    m as usize,
-                    &CentralScheduler::idealized(),
-                );
-                // No-straggler schedule under the *same* scheduler, used
-                // to split overhead into tail and scheduling shares.
-                let no_straggler = if ipso_obs::enabled() {
-                    let ns: Vec<f64> = (0..plan.durations.len())
-                        .map(|i| {
-                            let fw = if i < plan.first_wave {
-                                spec.first_wave_cost
-                            } else {
-                                0.0
-                            };
-                            plan.base * plan.mem_mult + fw
-                        })
-                        .collect();
-                    let ns_makespan = run_wave_schedule(&ns, m as usize, &spec.scheduler).makespan;
-                    Some((ns, ns_makespan))
-                } else {
-                    None
-                };
-                (schedule, ideal_makespan, no_straggler)
-            });
-            StageSchedule {
-                schedule,
-                ideal_makespan,
-                no_straggler,
-                records,
-            }
-        });
-
-    // Phase 3 — walk the virtual clock through the stages in order.
+    // Walk the virtual clock through the stages in order, merging each
+    // stage's captured records at its place so the global observability
+    // stream is byte-identical to a sequential run.
     let mut clock = 0.0f64;
     let mut overhead = 0.0f64;
     let mut stage_times = Vec::with_capacity(spec.stages.len());
+    let mut fault_summaries: Vec<FaultSummary> = Vec::new();
     let mut events = vec![SparkEvent::ApplicationStart {
         app_name: spec.name.clone(),
         timestamp: 0.0,
@@ -259,7 +139,7 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
 
     // Executor launch is serialized at the driver: pure scale-out-induced
     // time linear in m (the driver registers one container at a time).
-    let launch = f64::from(m) * spec.executor_launch_cost;
+    let launch = outcome.setup_overhead;
     clock += launch;
     overhead += launch;
     if ipso_obs::enabled() {
@@ -268,8 +148,12 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
         ipso_obs::gauge_add("overhead.scheduling_s", launch);
     }
 
-    for (((stage_id, stage), plan), staged) in
-        spec.stages.iter().enumerate().zip(&plans).zip(schedules)
+    for (((stage_id, stage), node), mut staged) in spec
+        .stages
+        .iter()
+        .enumerate()
+        .zip(&graph.stages)
+        .zip(outcome.stages)
     {
         let submitted = clock;
         events.push(SparkEvent::StageSubmitted {
@@ -279,8 +163,9 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
             submission_time: submitted,
         });
 
-        // 1. Driver broadcast (serialized unicasts).
-        let broadcast = plan.broadcast;
+        // 1. Driver broadcast (serialized unicasts) — the stage's
+        // pre-wave overhead in the IR.
+        let broadcast = node.pre_overhead;
         clock += broadcast;
         overhead += broadcast;
         if ipso_obs::enabled() {
@@ -297,86 +182,48 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
             ipso_obs::gauge_add("overhead.broadcast_s", broadcast);
         }
 
-        // 2./3. The schedules computed in phase 2; their captured records
-        // land in the global stream here, in stage order.
-        ipso_obs::merge(staged.records);
-        let schedule = staged.schedule;
-        let stage_overhead = (schedule.makespan - staged.ideal_makespan).max(0.0);
+        // 2./3. The runtime's schedules; their captured records land in
+        // the global stream here, in stage order.
+        ipso_obs::merge(std::mem::take(&mut staged.records));
+        let stage_overhead = staged.schedule_overhead();
         overhead += stage_overhead;
-        if let Some((no_straggler, ns_makespan)) = &staged.no_straggler {
-            let tail = (schedule.makespan - *ns_makespan).clamp(0.0, stage_overhead);
+        if staged.no_straggler.is_some() {
+            let tail = staged.straggler_tail();
             ipso_obs::gauge_add("overhead.straggler_tail_s", tail);
             ipso_obs::gauge_add("overhead.scheduling_s", stage_overhead - tail);
-            for record in &schedule.records {
-                let track = format!("executor-{}", record.executor);
-                ipso_obs::record_span(
-                    &track,
-                    &format!("task-{}", record.task_id),
-                    "spark",
-                    clock + record.start,
-                    clock + record.end,
-                );
-                let nominal = no_straggler[record.task_id as usize];
-                if nominal > 0.0 && record.duration() / nominal >= StragglerModel::SEVERE_MULTIPLIER
-                {
-                    ipso_obs::record_instant(&track, "straggler", "spark", clock + record.end);
-                }
-            }
+            staged.record_task_spans(node, "spark", clock);
         }
-        if let Some(outcome) = &plan.fault {
-            if ipso_obs::enabled() {
-                for event in &outcome.summary.events {
-                    let record = &schedule.records[event.task as usize];
-                    let track = format!("executor-{}", record.executor);
-                    let name = match event.kind {
-                        RecoveryEventKind::AttemptFailed { .. } => "task-retry",
-                        RecoveryEventKind::OutputLost { .. } => "output-lost",
-                        RecoveryEventKind::Speculated { .. } => "speculative-copy",
-                    };
-                    ipso_obs::record_instant(&track, name, "spark", clock + record.end);
-                }
-            }
-        }
-        clock += schedule.makespan;
+        staged.record_fault_instants("spark", clock);
+        clock += staged.schedule.makespan;
 
         // Fault recovery accounting. The recovery *latency* is already in
         // the lengthened task durations above; the re-executed *work* is
         // scale-out-induced workload (the sequential reference never
         // re-executes), so it is charged into the overhead share.
-        if let Some(outcome) = &plan.fault {
-            overhead += outcome.summary.wasted_total();
+        if let Some(fault) = &staged.fault {
+            overhead += fault.summary.wasted_total();
+        }
 
-            // Lineage recomputation: a node crash in stage k > 0 also
-            // loses the node's resident stage-(k−1) partitions, which
-            // must be recomputed from lineage before this stage's shuffle
-            // can complete. Crashed nodes recompute in parallel, so the
-            // clock pays the slowest node while Wo pays the total work.
-            if stage_id > 0 && !outcome.crashed_nodes.is_empty() {
-                let prev = &plans[stage_id - 1].durations;
-                let mut recompute_work = 0.0f64;
-                let mut recompute_makespan = 0.0f64;
-                for &node in &outcome.crashed_nodes {
-                    let node_work: f64 = prev.iter().skip(node as usize).step_by(m as usize).sum();
-                    recompute_work += node_work;
-                    recompute_makespan = recompute_makespan.max(node_work);
-                }
-                if ipso_obs::enabled() && recompute_makespan > 0.0 {
-                    ipso_obs::record_span(
-                        "driver",
-                        &format!("lineage-recompute-{}", stage.name),
-                        "spark",
-                        clock,
-                        clock + recompute_makespan,
-                    );
-                    ipso_obs::counter_add(
-                        "spark.lineage_recomputes",
-                        outcome.crashed_nodes.len() as u64,
-                    );
-                    ipso_obs::gauge_add("overhead.lineage_recompute_s", recompute_work);
-                }
-                clock += recompute_makespan;
-                overhead += recompute_work;
+        // Lineage recomputation, attributed by the runtime from the
+        // graph's dependency metadata: a node crash in stage k > 0 also
+        // loses the node's resident stage-(k−1) partitions, which must
+        // be recomputed from lineage before this stage's shuffle can
+        // complete. Crashed nodes recompute in parallel, so the clock
+        // pays the slowest node while Wo pays the total work.
+        if let Some(lineage) = &staged.lineage {
+            if ipso_obs::enabled() && lineage.makespan > 0.0 {
+                ipso_obs::record_span(
+                    "driver",
+                    &format!("lineage-recompute-{}", stage.name),
+                    "spark",
+                    clock,
+                    clock + lineage.makespan,
+                );
+                ipso_obs::counter_add("spark.lineage_recomputes", lineage.nodes);
+                ipso_obs::gauge_add("overhead.lineage_recompute_s", lineage.work);
             }
+            clock += lineage.makespan;
+            overhead += lineage.work;
         }
 
         // 4. Shuffle boundary: each of the m receivers pulls total/m bytes
@@ -411,14 +258,13 @@ pub fn try_run_job(spec: &SparkJobSpec) -> Result<SparkRun, ClusterError> {
             submission_time: submitted,
             completion_time: clock,
         });
+        if let Some(fault) = staged.fault {
+            fault_summaries.push(fault.summary);
+        }
     }
 
     events.push(SparkEvent::ApplicationEnd { timestamp: clock });
     let log = write_event_log(&events).expect("event log serialization cannot fail");
-    let fault_summaries: Vec<FaultSummary> = plans
-        .into_iter()
-        .filter_map(|p| p.fault.map(|o| o.summary))
-        .collect();
     Ok(SparkRun {
         total_time: clock,
         stage_times,

@@ -10,8 +10,8 @@
 //! ipso predict   runs.csv --window 16 --at 64,128,200 [--confidence 0.9]
 //! ipso provision runs.csv --window 16 --n-max 200 [--worker-cost 0.10 --master-cost 0.80]
 //! ipso report    runs.csv --window 16 --n-max 200 [--fixed-size]
-//! ipso trace     terasort --n 8 [--threads 1] --out run.trace.json
-//! ipso metrics   terasort --n 8 [--threads 1]
+//! ipso trace     terasort --n 8 [--threads 1] [--scheduler fifo] --out run.trace.json
+//! ipso metrics   terasort --n 8 [--threads 1] [--scheduler fifo]
 //! ```
 //!
 //! `runs.csv` columns: `n,seq_parallel,seq_serial,par_map,par_serial,par_overhead`
@@ -433,6 +433,20 @@ pub fn cmd_report(args: &Args, csv: &str) -> Result<String, CliError> {
 /// Workloads runnable by `ipso trace` / `ipso metrics`.
 const TRACEABLE_WORKLOADS: &str = "terasort, sort, wordcount";
 
+/// The task dispatch policy shared by `trace` and `metrics`, parsed
+/// from `--scheduler <fifo|fair|locality>`. Defaults to FIFO, the
+/// policy every committed artifact was produced under. Unknown names
+/// surface the runtime's typed [`ipso_cluster::ClusterError::InvalidParameter`]
+/// message instead of panicking.
+fn parse_scheduler_flag(args: &Args) -> Result<ipso_cluster::SchedulerPolicy, CliError> {
+    match args.flags.get("scheduler") {
+        None => Ok(ipso_cluster::SchedulerPolicy::Fifo),
+        Some(name) => name
+            .parse::<ipso_cluster::SchedulerPolicy>()
+            .map_err(|e| CliError(e.to_string())),
+    }
+}
+
 /// Fault-injection settings shared by `trace` and `metrics`, parsed
 /// from `--fail-prob`, `--node-crash-prob`, `--max-attempts`,
 /// `--speculate` and `--fail-fast`. All default to off, which keeps the
@@ -477,6 +491,7 @@ fn run_traced_workload(
         return Err(CliError("flag --n must be at least 1".into()));
     }
     let (faults, recovery) = parse_fault_flags(args)?;
+    let policy = parse_scheduler_flag(args)?;
     ipso_obs::set_enabled(true);
     ipso_obs::reset();
     let run = match name {
@@ -485,6 +500,7 @@ fn run_traced_workload(
             spec.engine.threads = threads;
             spec.faults = faults;
             spec.recovery = recovery;
+            spec.policy = policy;
             try_run_scale_out(
                 &spec,
                 &terasort::TeraSortMapper,
@@ -498,6 +514,7 @@ fn run_traced_workload(
             spec.engine.threads = threads;
             spec.faults = faults;
             spec.recovery = recovery;
+            spec.policy = policy;
             try_run_scale_out(
                 &spec,
                 &sort::SortMapper,
@@ -511,6 +528,7 @@ fn run_traced_workload(
             spec.engine.threads = threads;
             spec.faults = faults;
             spec.recovery = recovery;
+            spec.policy = policy;
             try_run_scale_out(
                 &spec,
                 &wordcount::WordCountMapper::new(),
@@ -634,8 +652,10 @@ USAGE:
   ipso provision <runs.csv> [--window 16] [--n-max 200]
                  [--worker-cost 0.10] [--master-cost 0.80] [--deadline SECS]
   ipso report    <runs.csv> [--window 16] [--n-max 200] [--fixed-size]
-  ipso trace     <workload> [--n 8] [--seed 3] [--threads 1] [FAULTS] --out run.trace.json
-  ipso metrics   <workload> [--n 8] [--seed 3] [--threads 1] [FAULTS]
+  ipso trace     <workload> [--n 8] [--seed 3] [--threads 1]
+                 [--scheduler fifo] [FAULTS] --out run.trace.json
+  ipso metrics   <workload> [--n 8] [--seed 3] [--threads 1]
+                 [--scheduler fifo] [FAULTS]
 
 FILES:
   curve.csv : n,speedup
@@ -646,6 +666,8 @@ WORKLOADS (trace / metrics): terasort, sort, wordcount
   metrics prints the metrics-registry snapshot and overhead breakdown
   --threads sets the host-side map wave width (0 = all hardware
   threads); outputs and traces are identical for any value
+  --scheduler picks the runtime's dispatch order: fifo (default),
+  fair (shortest-first) or locality (executor-affine)
 
 FAULTS (trace / metrics; all off by default):
   --fail-prob P        per-attempt task failure probability in [0, 1)

@@ -188,7 +188,7 @@ fn usage_mentions_every_command() {
     ] {
         assert!(u.contains(cmd), "usage missing {cmd}");
     }
-    for flag in ["--fail-prob", "--speculate", "--fail-fast"] {
+    for flag in ["--fail-prob", "--speculate", "--fail-fast", "--scheduler"] {
         assert!(u.contains(flag), "usage missing {flag}");
     }
 }
@@ -250,4 +250,51 @@ fn invalid_fault_flags_are_rejected() {
     ]))
     .unwrap_err();
     assert!(err.0.contains("invalid"), "got: {err}");
+}
+
+#[test]
+fn scheduler_flag_selects_a_policy() {
+    let _guard = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let fifo = run(&args(&["metrics", "sort", "--n", "4"])).unwrap();
+    // Explicit fifo is the default.
+    let explicit = run(&args(&[
+        "metrics",
+        "sort",
+        "--n",
+        "4",
+        "--scheduler",
+        "fifo",
+    ]))
+    .unwrap();
+    assert_eq!(fifo, explicit);
+    // The other policies run; with a straggler model active the
+    // shortest-first dispatch changes the barrier stretch.
+    for policy in ["fair", "locality"] {
+        let out = run(&args(&[
+            "metrics",
+            "sort",
+            "--n",
+            "4",
+            "--scheduler",
+            policy,
+        ]))
+        .unwrap();
+        assert!(out.contains("sort @ n = 4"), "got:\n{out}");
+    }
+}
+
+#[test]
+fn unknown_scheduler_is_a_typed_error_not_a_panic() {
+    let _guard = OBS.lock().unwrap_or_else(|e| e.into_inner());
+    let err = run(&args(&[
+        "metrics",
+        "sort",
+        "--n",
+        "4",
+        "--scheduler",
+        "gang",
+    ]))
+    .unwrap_err();
+    assert!(err.0.contains("invalid scheduler policy"), "got: {err}");
+    assert!(err.0.contains("fifo, fair or locality"), "got: {err}");
 }
